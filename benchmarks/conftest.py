@@ -1,0 +1,30 @@
+"""Shared fixtures for the paper-regeneration benchmark harness.
+
+The full experimental campaign (all nine circuits through both flows,
+simulation, and power estimation) is executed once per session and
+shared by the table benchmarks; per-experiment benchmarks time their
+own specific kernel with ``benchmark.pedantic`` so heavyweight flows
+are not re-run dozens of times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flows.tables import run_all
+
+CYCLES = 2000
+SEED = 2004
+IDLE = 0.5
+
+
+@pytest.fixture(scope="session")
+def paper_results():
+    """All nine benchmarks through the full Fig. 6 flow (cached)."""
+    return run_all(num_cycles=CYCLES, seed=SEED, idle_fraction=IDLE)
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated artifact in a recognizable block."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{text}")

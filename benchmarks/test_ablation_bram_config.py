@@ -1,0 +1,97 @@
+"""A2 — ablation: BRAM aspect-ratio selection in the mapper.
+
+Sweeps synthetic machines across the interface-size space and records
+which of the six Virtex-II aspect ratios the Fig. 5 algorithm selects,
+plus where parallel joining, column compaction and series joining kick
+in.  Verifies the selection is always legal and power-monotone choices
+are made (widest/shallowest block that fits).
+"""
+
+import pytest
+
+from repro.arch.bram import BRAM_CONFIGS
+from repro.bench.generator import GeneratorSpec, generate_fsm
+from repro.romfsm.mapper import MappingError, map_fsm_to_rom
+
+from .conftest import emit
+
+
+def machine(states, inputs, outputs, care=None, seed=0):
+    care = care if care is not None else inputs
+    return generate_fsm(GeneratorSpec(
+        name=f"s{states}i{inputs}o{outputs}",
+        num_states=states,
+        num_inputs=inputs,
+        num_outputs=outputs,
+        care_inputs=(min(care, inputs), min(care, inputs)),
+        seed=seed,
+    ))
+
+
+SWEEP = [
+    # (states, inputs, outputs) -> exercises different aspect ratios
+    (4, 1, 1),
+    (8, 3, 4),
+    (16, 5, 2),
+    (16, 8, 4),
+    (32, 6, 3),
+    (48, 7, 8),
+    (64, 6, 2),
+    (16, 2, 30),   # wide word
+]
+
+
+def run_sweep():
+    rows = []
+    for states, inputs, outputs in SWEEP:
+        fsm = machine(states, inputs, outputs, care=min(inputs, 4))
+        impl = map_fsm_to_rom(fsm)
+        rows.append((
+            f"{states}s/{inputs}i/{outputs}o",
+            impl.config.name,
+            impl.parallel_brams,
+            impl.series_brams,
+            impl.layout.addr_bits,
+            impl.layout.data_bits,
+            impl.compaction is not None,
+        ))
+    return rows
+
+
+def test_config_selection_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [
+        f"  {label:12s} -> {config:7s} par={par} ser={ser} "
+        f"addr={addr:2d} data={data:2d} compacted={compacted}"
+        for label, config, par, ser, addr, data, compacted in rows
+    ]
+    emit("BRAM aspect-ratio selection sweep", "\n".join(lines))
+
+    for label, config_name, par, ser, addr, data, _compacted in rows:
+        config = next(c for c in BRAM_CONFIGS if c.name == config_name)
+        # Legality: the chosen plan must carry the address and the word.
+        assert config.addr_bits >= min(addr, 14), label
+        assert par * config.width >= data, label
+        assert par >= 1 and ser >= 1
+
+
+def test_widest_block_preferred_for_small_machines():
+    impl = map_fsm_to_rom(machine(4, 1, 1))
+    assert impl.config.name == "512x36"
+
+
+def test_deep_narrow_block_for_input_heavy_machine():
+    fsm = machine(16, 8, 1, care=8)
+    impl = map_fsm_to_rom(fsm, moore_outputs="internal")
+    # 8 inputs + 4 state bits = 12 address bits, 5 data bits.
+    assert impl.config.addr_bits >= 12 or impl.compaction is not None
+
+
+def test_series_joining_is_bounded():
+    """Grotesquely wide machines are rejected, not silently exploded."""
+    fsm = machine(64, 16, 1, care=16, seed=1)
+    try:
+        impl = map_fsm_to_rom(fsm)
+        assert impl.series_brams <= 8
+    except MappingError:
+        pass  # legitimate refusal is also the documented behaviour

@@ -1,0 +1,71 @@
+"""A1 — ablation: state-encoding choice for the FF baseline.
+
+Paper section 4.1: "The number of FFs used to implement an FSM depends
+on the state encoding, such as sequential, one-hot, grey encoding."
+The ablation synthesizes the FF baseline under all four encodings and
+compares FF count, LUT count and power — context for why the ROM
+mapping pins the encoding to dense binary (the feedback address wants
+log2(N) bits).
+"""
+
+import pytest
+
+from repro.bench.suite import load_benchmark
+from repro.fsm.simulate import random_stimulus
+from repro.power.activity import extract_ff_activity
+from repro.power.estimator import estimate_ff_power
+from repro.synth.ff_synth import synthesize_ff
+from repro.synth.netsim import simulate_ff_netlist
+
+from .conftest import emit
+
+STYLES = ("binary", "gray", "one-hot", "johnson")
+CIRCUIT = "keyb"
+
+
+def run_ablation():
+    from repro.fsm.assign import anneal_encoding
+
+    fsm = load_benchmark(CIRCUIT)
+    stim = random_stimulus(fsm.num_inputs, 1200, seed=505)
+    rows = []
+    encodings = [(style, style) for style in STYLES]
+    encodings.append(("annealed", anneal_encoding(fsm, seed=1)))
+    for label, style in encodings:
+        impl = synthesize_ff(fsm, encoding_style=style)
+        activity = extract_ff_activity(impl, simulate_ff_netlist(impl, stim))
+        power = estimate_ff_power(impl, activity, 100.0)
+        rows.append((label, impl.num_ffs, impl.num_luts,
+                     impl.lut_depth, power.total_mw))
+    return rows
+
+
+def test_encoding_ablation(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    lines = [
+        f"  {style:8s} ffs={ffs:3d} luts={luts:4d} depth={depth} "
+        f"P={power:.2f} mW @100"
+        for style, ffs, luts, depth, power in rows
+    ]
+    emit(f"Encoding ablation on {CIRCUIT} (FF baseline)", "\n".join(lines))
+
+    by_style = {row[0]: row for row in rows}
+    fsm = load_benchmark(CIRCUIT)
+    # FF count follows the encoding width.
+    assert by_style["one-hot"][1] == fsm.num_states
+    assert by_style["binary"][1] == by_style["gray"][1]
+    assert by_style["binary"][1] < by_style["one-hot"][1]
+    # All encodings implement the same machine (power differs, function
+    # equivalence is enforced inside the flows' verification).
+    assert len({row[4] for row in rows}) >= 2  # they do differ
+
+
+@pytest.mark.parametrize("style", STYLES)
+def test_every_encoding_is_functionally_correct(style):
+    from repro.fsm.simulate import FsmSimulator
+
+    fsm = load_benchmark("dk14")
+    impl = synthesize_ff(fsm, encoding_style=style)
+    stim = random_stimulus(fsm.num_inputs, 400, seed=3)
+    trace = simulate_ff_netlist(impl, stim)
+    assert trace.output_stream == FsmSimulator(fsm).run(stim).outputs

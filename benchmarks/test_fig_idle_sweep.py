@@ -1,0 +1,66 @@
+"""E8 — savings vs idle occupancy (paper section 6).
+
+"The amount of power savings achieved with the clock control logic is
+dependent upon the total time an FSM spends in idle states.  For an FSM
+which spends very little time in idle states, there will be very little
+improvement ... significant power savings can be seen for an FSM which
+spends much of the time in idle states."
+
+The sweep drives one benchmark with idle fractions from 0% to 90% and
+regenerates the power-vs-idleness series.
+"""
+
+import pytest
+
+from repro.bench.suite import load_benchmark
+from repro.fsm.simulate import FsmSimulator, idle_biased_stimulus
+from repro.power.activity import extract_rom_activity
+from repro.power.estimator import estimate_rom_power
+from repro.romfsm.mapper import map_fsm_to_rom
+
+from .conftest import emit
+
+FRACTIONS = [0.0, 0.15, 0.3, 0.5, 0.7, 0.9]
+CYCLES = 1500
+
+
+def sweep(name="keyb"):
+    fsm = load_benchmark(name)
+    impl = map_fsm_to_rom(fsm, clock_control=True)
+    rows = []
+    for fraction in FRACTIONS:
+        stim = idle_biased_stimulus(fsm, CYCLES, fraction, seed=606)
+        achieved = FsmSimulator(fsm).run(stim).idle_fraction()
+        trace = impl.run(stim)
+        activity = extract_rom_activity(impl, trace)
+        power = estimate_rom_power(impl, activity, 100.0)
+        rows.append((fraction, achieved, trace.enable_duty,
+                     power.component("bram"), power.total_mw))
+    return rows
+
+
+def test_idle_sweep(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"  target={target:.2f} achieved={ach:.2f} duty={duty:.2f} "
+        f"bram={bram:5.2f} mW total={total:5.2f} mW"
+        for target, ach, duty, bram, total in rows
+    ]
+    emit("Idle-fraction sweep, keyb @ 100 MHz (regenerated series)",
+         "\n".join(lines))
+
+    totals = [total for *_, total in rows]
+    brams = [bram for *_, bram, _ in rows]
+    # Monotone decline of BRAM power with idleness.
+    assert all(b >= b2 - 1e-9 for b, b2 in zip(brams, brams[1:]))
+    # Total power at 90% idle is clearly below the busy case.
+    assert totals[-1] < 0.9 * totals[0]
+    # Enable duty tracks idleness inversely.
+    duties = [duty for _, _, duty, _, _ in rows]
+    assert duties[0] > duties[-1]
+
+
+@pytest.mark.parametrize("name", ["dk14", "planet"])
+def test_sweep_shape_holds_across_benchmarks(name):
+    rows = sweep(name)
+    assert rows[-1][4] < rows[0][4], f"{name}: no saving at high idleness"

@@ -1,0 +1,70 @@
+"""E10 — analytic model vs. simulation: occupancy, idleness, activity.
+
+The Markov-chain analysis (``repro.fsm.markov``) predicts the
+quantities the paper measures by simulation.  This benchmark validates
+the closed-form predictions against long simulated runs across the
+whole suite — the kind of sanity instrumentation a production power
+flow ships with.
+"""
+
+from repro.bench.suite import PAPER_BENCHMARKS, load_benchmark
+from repro.fsm.encoding import binary_encoding
+from repro.fsm.markov import (
+    expected_idle_fraction,
+    expected_state_bit_activity,
+)
+from repro.fsm.simulate import FsmSimulator, random_stimulus
+
+from .conftest import emit
+
+CYCLES = 15_000
+
+
+def collect():
+    rows = []
+    for name in PAPER_BENCHMARKS:
+        fsm = load_benchmark(name)
+        predicted_idle = expected_idle_fraction(fsm)
+        encoding = binary_encoding(fsm)
+        predicted_activity = expected_state_bit_activity(fsm, encoding)
+        trace = FsmSimulator(fsm).run(
+            random_stimulus(fsm.num_inputs, CYCLES, seed=10)
+        )
+        measured_idle = trace.idle_fraction()
+        toggles = 0
+        for a, b in zip(trace.states, trace.states[1:]):
+            toggles += bin(encoding.encode(a) ^ encoding.encode(b)).count("1")
+        measured_activity = toggles / CYCLES
+        rows.append((name, predicted_idle, measured_idle,
+                     predicted_activity, measured_activity))
+    return rows
+
+
+def test_markov_predictions(benchmark):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    lines = [
+        f"  {name:8s} idle: {pi:.3f} predicted / {mi:.3f} measured | "
+        f"state-bit activity: {pa:.3f} / {ma:.3f}"
+        for name, pi, mi, pa, ma in rows
+    ]
+    emit("Markov predictions vs simulation (uniform inputs)",
+         "\n".join(lines))
+
+    for name, pred_idle, meas_idle, pred_act, meas_act in rows:
+        assert abs(pred_idle - meas_idle) < 0.03, name
+        assert abs(pred_act - meas_act) <= max(0.15 * meas_act, 0.05), name
+
+
+def test_predicted_idleness_ranks_clock_control_value(paper_results):
+    """The analytic idle fraction predicts which circuits benefit most
+    from clock stopping under *uniform* stimulus — a static screening
+    tool for the §6 decision."""
+    ranked_pred = sorted(
+        PAPER_BENCHMARKS,
+        key=lambda n: expected_idle_fraction(load_benchmark(n)),
+    )
+    # The three least-idle and three most-idle circuits by prediction
+    # must not be swapped wholesale in the measured ordering.
+    low = set(ranked_pred[:3])
+    high = set(ranked_pred[-3:])
+    assert not (low & high)

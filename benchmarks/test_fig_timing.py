@@ -1,0 +1,63 @@
+"""E7 — the fixed-timing claim (paper sections 4.2 and 5).
+
+"The timing of the EMB based FSM is predictable since the critical path
+is from the output of the EMB to its address inputs.  Thus no matter how
+many state transitions an FSM may have the timing of it does not
+change." — while the FF implementation's critical path deepens with
+complexity.  This benchmark regenerates the Fmax-vs-complexity series.
+"""
+
+from .conftest import emit
+
+
+def test_timing_series(benchmark, paper_results):
+    def series():
+        rows = []
+        for name, result in paper_results.items():
+            rows.append((
+                name,
+                result.ff_impl.num_luts,
+                result.ff_impl.lut_depth,
+                result.ff_timing.fmax_mhz,
+                result.rom_timing.fmax_mhz,
+                result.rom_cc_timing.fmax_mhz,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(series, rounds=1, iterations=1)
+    lines = [
+        f"  {name:8s} luts={luts:4d} depth={depth} "
+        f"ff={ff:6.1f} MHz  emb={rom:6.1f} MHz  emb+cc={cc:6.1f} MHz"
+        for name, luts, depth, ff, rom, cc in rows
+    ]
+    emit("Fmax vs complexity (regenerated series)", "\n".join(lines))
+
+    # ROM-impl Fmax varies only through the input-mux depth, never with
+    # the transition count: within one mux-depth class all nine circuits
+    # share the critical path exactly.
+    by_mux_depth = {}
+    for name, result in paper_results.items():
+        key = (result.rom_impl.mux_levels, result.rom_impl.series_brams)
+        by_mux_depth.setdefault(key, set()).add(
+            round(result.rom_timing.critical_path_ns, 6)
+        )
+    for key, paths in by_mux_depth.items():
+        assert len(paths) == 1, f"mux class {key} has divergent timing"
+
+    # The deepest FF design is slower than the shallowest.
+    by_depth = sorted(rows, key=lambda r: r[2])
+    assert by_depth[-1][3] <= by_depth[0][3]
+
+    # Every ROM design meets the paper's 100 MHz experiment.
+    assert all(r[4] >= 100.0 for r in rows)
+
+    # Clock control only ever slows the ROM design (enable setup path).
+    assert all(r[5] <= r[4] + 1e-9 for r in rows)
+
+
+def test_rom_timing_independent_of_transition_count(paper_results):
+    """donfile (93 edges) and planet (221 edges) share the plain-ROM
+    critical path when neither needs an input multiplexer level more."""
+    donfile = paper_results["donfile"].rom_timing
+    dk14 = paper_results["dk14"].rom_timing
+    assert donfile.critical_path_ns == dk14.critical_path_ns

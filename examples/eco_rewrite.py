@@ -1,0 +1,102 @@
+"""In-field functionality change: rewrite the memory, skip the tools.
+
+Run:  python examples/eco_rewrite.py
+
+Paper section 4.2: "The functionality of an EMB based FSM can be
+changed by changing the contents of the EMB ... much faster than going
+through the complete synthesis and placement and routing process.  This
+is helpful for last moment engineering change orders (ECOs)."
+
+Scenario: a deployed vending-machine controller must change its pricing
+policy (accept a new coin sequence) after manufacturing.  The FF
+implementation would need a new bitstream through synthesis + P&R; the
+ROM implementation just rewrites its words.
+"""
+
+from repro import FsmSimulator, map_fsm_to_rom, random_stimulus
+from repro.fsm.machine import FSM
+
+# Inputs : in0 = nickel inserted, in1 = dime inserted
+# Outputs: out0 = dispense, out1 = refund excess
+IDLE, N5, N10, N15 = "Idle", "C5", "C10", "C15"
+
+
+def vending_v1() -> FSM:
+    """Version 1: item costs 20 cents, exact change only."""
+    fsm = FSM("vendor", 2, 2, [IDLE, N5, N10, N15], IDLE)
+    fsm.add(IDLE, "00", IDLE, "00")
+    fsm.add(IDLE, "10", N5, "00")
+    fsm.add(IDLE, "01", N10, "00")
+    fsm.add(IDLE, "11", N15, "00")     # both slots in one cycle
+    fsm.add(N5, "00", N5, "00")
+    fsm.add(N5, "10", N10, "00")
+    fsm.add(N5, "01", N15, "00")
+    fsm.add(N5, "11", IDLE, "10")      # 5+15 = 20: dispense
+    fsm.add(N10, "00", N10, "00")
+    fsm.add(N10, "10", N15, "00")
+    fsm.add(N10, "01", IDLE, "10")     # 20: dispense
+    fsm.add(N10, "11", IDLE, "11")     # 25: dispense + refund
+    fsm.add(N15, "00", N15, "00")
+    fsm.add(N15, "10", IDLE, "10")     # 20: dispense
+    fsm.add(N15, "01", IDLE, "11")     # 25: dispense + refund
+    fsm.add(N15, "11", IDLE, "11")     # 30: dispense + refund
+    return fsm
+
+
+def vending_v2() -> FSM:
+    """Version 2 (the ECO): price drops to 15 cents."""
+    fsm = FSM("vendor", 2, 2, [IDLE, N5, N10, N15], IDLE)
+    fsm.add(IDLE, "00", IDLE, "00")
+    fsm.add(IDLE, "10", N5, "00")
+    fsm.add(IDLE, "01", N10, "00")
+    fsm.add(IDLE, "11", IDLE, "10")    # 15: dispense immediately
+    fsm.add(N5, "00", N5, "00")
+    fsm.add(N5, "10", N10, "00")
+    fsm.add(N5, "01", IDLE, "10")      # 15: dispense
+    fsm.add(N5, "11", IDLE, "11")      # 20: dispense + refund
+    fsm.add(N10, "00", N10, "00")
+    fsm.add(N10, "10", IDLE, "10")     # 15: dispense
+    fsm.add(N10, "01", IDLE, "11")     # 20: dispense + refund
+    fsm.add(N10, "11", IDLE, "11")     # 25: dispense + refund
+    # N15 becomes unreachable but stays in the state set: the ECO may
+    # not add or remove states, only re-route transitions.
+    fsm.add(N15, "--", IDLE, "00")
+    return fsm
+
+
+def main() -> None:
+    v1, v2 = vending_v1(), vending_v2()
+    impl = map_fsm_to_rom(v1)
+    print(f"Deployed controller: {impl.config.name}, "
+          f"{impl.layout.depth} words, 0 fabric LUTs")
+
+    stim = random_stimulus(2, 2000, seed=42)
+    assert impl.run(stim).output_stream == FsmSimulator(v1).run(stim).outputs
+    v1_dispenses = sum(o & 1 for o in FsmSimulator(v1).run(stim).outputs)
+    print(f"v1 behaviour verified ({v1_dispenses} dispenses on the "
+          f"test tape)")
+
+    before = list(impl.contents)
+    impl.rewrite_contents(v2)
+    after = impl.contents
+    changed = sum(1 for a, b in zip(before, after) if a != b)
+    print(f"\nECO applied: rewrote {changed} of {len(after)} memory words"
+          f" — no synthesis, no place & route, same fabric")
+
+    assert impl.run(stim).output_stream == FsmSimulator(v2).run(stim).outputs
+    v2_dispenses = sum(o & 1 for o in FsmSimulator(v2).run(stim).outputs)
+    print(f"v2 behaviour verified ({v2_dispenses} dispenses on the same "
+          f"tape — cheaper items sell more)")
+    assert v2_dispenses > v1_dispenses
+
+    # Guard rails: the ECO path refuses changes that need re-synthesis.
+    try:
+        wide = FSM("wide", 3, 2, [IDLE, N5, N10, N15], IDLE)
+        wide.add(IDLE, "---", IDLE, "00")
+        impl.rewrite_contents(wide)
+    except Exception as exc:
+        print(f"\nInterface change correctly rejected: {exc}")
+
+
+if __name__ == "__main__":
+    main()

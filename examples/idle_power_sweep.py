@@ -1,0 +1,88 @@
+"""Sweep the idle occupancy and watch the clock-control savings grow.
+
+Run:  python examples/idle_power_sweep.py [benchmark]
+
+Paper section 6: "The amount of power savings achieved with the clock
+control logic is dependent upon the total time an FSM spends in idle
+states."  This script reproduces that relationship as a table: one of
+the paper's benchmark circuits is driven at idle occupancies from 0% to
+90% and all three implementations are measured at 100 MHz.
+"""
+
+import sys
+
+from repro import (
+    FsmSimulator,
+    estimate_ff_power,
+    estimate_rom_power,
+    extract_ff_activity,
+    extract_rom_activity,
+    idle_biased_stimulus,
+    load_benchmark,
+    map_fsm_to_rom,
+    synthesize_ff,
+)
+from repro.flows.flow import moore_output_mode
+from repro.power.report import format_table
+from repro.synth.netsim import simulate_ff_netlist
+
+CYCLES = 2500
+FREQ = 100.0
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "keyb"
+    fsm = load_benchmark(name)
+    print(f"Benchmark {name}: {fsm.num_states} states, "
+          f"{fsm.num_inputs} inputs, {fsm.num_outputs} outputs")
+
+    ff = synthesize_ff(fsm)
+    mode = moore_output_mode(fsm)
+    rom = map_fsm_to_rom(fsm, moore_outputs=mode)
+    rom_cc = map_fsm_to_rom(fsm, moore_outputs=mode, clock_control=True)
+    print(f"FF {ff.num_luts} LUTs | ROM {rom.config.name} | "
+          f"clock control +{rom_cc.clock_control.num_luts} LUTs\n")
+
+    rows = []
+    for target in (0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 0.9):
+        stim = idle_biased_stimulus(fsm, CYCLES, target, seed=7)
+        achieved = FsmSimulator(fsm).run(stim).idle_fraction()
+
+        ff_power = estimate_ff_power(
+            ff, extract_ff_activity(ff, simulate_ff_netlist(ff, stim)), FREQ
+        )
+        rom_power = estimate_rom_power(
+            rom, extract_rom_activity(rom, rom.run(stim)), FREQ
+        )
+        cc_trace = rom_cc.run(stim)
+        cc_power = estimate_rom_power(
+            rom_cc, extract_rom_activity(rom_cc, cc_trace), FREQ
+        )
+        rows.append([
+            f"{achieved:.0%}",
+            ff_power.total_mw,
+            rom_power.total_mw,
+            cc_power.total_mw,
+            cc_power.total_mw - rom_power.total_mw,
+            f"{100 * cc_power.saving_vs(ff_power):.1f}%",
+            f"{cc_trace.enable_duty:.0%}",
+        ])
+
+    print(format_table(
+        ["idle", "FF (mW)", "EMB (mW)", "EMB+cc (mW)",
+         "cc gain (mW)", "saving vs FF", "EN duty"],
+        rows,
+    ))
+    print(
+        "\nRead the 'cc gain' column: at 0% idle the enable logic is "
+        "pure overhead\n(positive delta), and it turns into a growing "
+        "net win as the machine idles\nmore — exactly the paper's "
+        "section 6 trade-off.  The FF baseline also\nquiets down with "
+        "idleness, but its combinational cone keeps switching on\n"
+        "every input change even when the state holds, which is why "
+        "the EMB+cc\ndesign pulls ahead."
+    )
+
+
+if __name__ == "__main__":
+    main()

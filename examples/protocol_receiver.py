@@ -1,0 +1,135 @@
+"""A link-layer frame receiver: a benchmark-scale control FSM.
+
+Run:  python examples/protocol_receiver.py
+
+The paper's evaluation regime: a realistic, transition-dense control
+path running at the fabric's full clock rate.  The receiver hunts for a
+sync pattern, validates a header, counts payload beats, checks a parity
+trailer, and raises framing-error/abort conditions — 18 states over a
+5-bit input bundle with 6 status outputs.
+
+The script runs the complete Fig. 6 flow at the paper's three clock
+frequencies and prints a Table 2-style comparison for this one design.
+"""
+
+from repro import evaluate_benchmark
+from repro.fsm.machine import FSM
+from repro.power.report import format_table
+
+# Inputs : in0 = serial bit, in1 = bit-strobe, in2 = carrier detect,
+#          in3 = abort request, in4 = parity accumulator (external XOR)
+# Outputs: out0 = hunting, out1 = receiving, out2 = frame_ok,
+#          out3 = frame_err, out4 = busy, out5 = abort_ack
+HUNT = "100010"
+RECV = "010010"
+OK = "001000"
+ERR = "000100"
+ABORT = "000001"
+
+
+def build_receiver() -> FSM:
+    states = (
+        ["Hunt", "Sync1", "Sync2", "Sync3", "Hdr0", "Hdr1", "HdrChk"]
+        + [f"Pay{i}" for i in range(8)]
+        + ["Parity", "Good", "Bad"]
+    )
+    fsm = FSM("framerx", 5, 6, states, "Hunt")
+
+    def strobe(bit):
+        """Input cube: strobed serial bit, carrier up, no abort."""
+        return f"{bit}110-"
+
+    IDLE = "-0-0-"       # no strobe: every state holds
+    NOCARRIER = "-100-"  # strobed with the carrier down
+    ABORT_REQ = "-1-1-"  # strobed abort request
+
+    # Sync hunting: looking for the 1-0-1 pattern.
+    fsm.add("Hunt", strobe(1), "Sync1", HUNT)
+    fsm.add("Hunt", strobe(0), "Hunt", HUNT)
+    fsm.add("Sync1", strobe(0), "Sync2", HUNT)
+    fsm.add("Sync1", strobe(1), "Sync1", HUNT)
+    fsm.add("Sync2", strobe(1), "Sync3", HUNT)
+    fsm.add("Sync2", strobe(0), "Hunt", HUNT)
+    fsm.add("Sync3", strobe(1), "Hdr0", RECV)
+    fsm.add("Sync3", strobe(0), "Sync2", HUNT)
+
+    # Two header bits must read 1,0 -- anything else is a framing error.
+    fsm.add("Hdr0", strobe(1), "Hdr1", RECV)
+    fsm.add("Hdr0", strobe(0), "Bad", ERR)
+    fsm.add("Hdr1", strobe(0), "HdrChk", RECV)
+    fsm.add("Hdr1", strobe(1), "Bad", ERR)
+    fsm.add("HdrChk", strobe(0), "Pay0", RECV)
+    fsm.add("HdrChk", strobe(1), "Pay0", RECV)
+
+    # Eight payload beats, data-independent progression.
+    for i in range(8):
+        nxt = f"Pay{i + 1}" if i < 7 else "Parity"
+        fsm.add(f"Pay{i}", strobe(0), nxt, RECV)
+        fsm.add(f"Pay{i}", strobe(1), nxt, RECV)
+
+    # Trailer: the external parity accumulator must read 0.
+    fsm.add("Parity", "-1100", "Good", OK)
+    fsm.add("Parity", "-1101", "Bad", ERR)
+    fsm.add("Good", strobe(0), "Hunt", HUNT)
+    fsm.add("Good", strobe(1), "Sync1", HUNT)
+    fsm.add("Bad", strobe(0), "Hunt", HUNT)
+    fsm.add("Bad", strobe(1), "Sync1", HUNT)
+
+    for state in states:
+        fsm.add(state, IDLE, state, HUNT if state == "Hunt" else RECV)
+        if state != "Hunt":
+            fsm.add(state, NOCARRIER, "Hunt", HUNT)
+            # Abort outranks reception whenever a strobe arrives.
+            fsm.add(state, ABORT_REQ, "Hunt", ABORT)
+    fsm.validate()
+    return fsm
+
+
+def main() -> None:
+    fsm = build_receiver()
+    print(f"Receiver: {fsm.num_states} states, {fsm.num_inputs} inputs, "
+          f"{fsm.num_outputs} outputs, {len(fsm.transitions)} edges")
+
+    # Links are bursty: between frames the receiver sits in Hunt with
+    # the strobe low, so a 70% idle occupancy is the realistic regime.
+    result = evaluate_benchmark(fsm, num_cycles=3000, idle_fraction=0.7)
+
+    print(f"\nFF baseline : {result.ff_impl.num_luts} LUTs, "
+          f"{result.ff_impl.num_ffs} FFs, depth {result.ff_impl.lut_depth}")
+    rom = result.rom_impl
+    print(f"ROM mapping : {rom.config.name} x{rom.num_brams}, "
+          f"{rom.num_luts} LUTs, "
+          f"compacted={rom.compaction is not None}")
+
+    rows = []
+    for f in (50.0, 85.0, 100.0):
+        key = f"{f:g}"
+        rows.append([
+            f"{f:g} MHz",
+            result.ff_power[key].total_mw,
+            result.rom_power[key].total_mw,
+            result.rom_cc_power[key].total_mw,
+        ])
+    print()
+    print(format_table(
+        ["frequency", "FF (mW)", "EMB (mW)", "EMB+cc (mW)"], rows
+    ))
+    print(f"\nsaving @100 MHz           : {result.saving_percent():.1f}%")
+    print(f"with clock control        : {result.cc_saving_percent():.1f}% "
+          f"(at {result.achieved_idle_fraction:.0%} idle)")
+    print(f"FF fmax {result.ff_timing.fmax_mhz:.0f} MHz vs "
+          f"EMB fmax {result.rom_timing.fmax_mhz:.0f} MHz "
+          f"(fixed, complexity-independent)")
+    print(
+        "\nTakeaway: a strobe-gated receiver has a low-activity FF "
+        "netlist, so the plain memory mapping roughly breaks even on "
+        "power; the win comes from the idle-state clock control, plus "
+        f"the freed fabric ({result.ff_impl.num_luts} LUTs and "
+        f"{result.ff_impl.num_ffs} FFs back in the routing-congested "
+        "region) and the ability to re-program the protocol in the "
+        "field by rewriting memory words."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""FPGA architecture model: Virtex-II-class embedded memory blocks,
+device resources, interconnect capacitance, and timing.
+
+Only the architectural *parameters* the paper's method consumes are
+modelled — BRAM aspect ratios and port widths, slice/LUT/FF counts per
+device, wire capacitance versus fanout, and pin-to-pin delays — all
+taken from the public Virtex-II data sheet the paper cites ([1]).
+"""
+
+from repro.arch.bram import BramConfig, BlockRam, BRAM_CONFIGS, VIRTEX2_BRAM_BITS
+from repro.arch.device import Device, Utilization, VIRTEX2_DEVICES, get_device
+from repro.arch.interconnect import InterconnectModel
+from repro.arch.timing import TimingModel, TimingReport
+
+__all__ = [
+    "BramConfig",
+    "BlockRam",
+    "BRAM_CONFIGS",
+    "VIRTEX2_BRAM_BITS",
+    "Device",
+    "Utilization",
+    "VIRTEX2_DEVICES",
+    "get_device",
+    "InterconnectModel",
+    "TimingModel",
+    "TimingReport",
+]

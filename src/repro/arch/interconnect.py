@@ -1,0 +1,78 @@
+"""Statistical interconnect (routing) model.
+
+This stands in for Xilinx ISE place-and-route.  The paper's power
+argument (section 2) is that ~60% of a Virtex-II design's dynamic power
+is burned in the programmable interconnect, because each routed signal
+crosses several buffered pass-transistor switches, and that the FF
+implementation's interconnect demand grows with FSM complexity while the
+ROM implementation routes only ``log2(N)`` state bits plus the inputs.
+
+We model the effective switched capacitance of a net as an affine
+function of its fanout, inflated by a congestion factor that grows with
+slice utilization (section 4.1: "in a denser design, due to routing
+congestion, LUTs and FFs may be spread all across the FPGA chip",
+raising interconnect use and power).  Capacitance values are effective
+lumped numbers calibrated in :mod:`repro.power.params` so that the FF
+baseline reproduces the published ~60/16/14 interconnect/logic/clock
+power split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InterconnectModel"]
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """Fanout/congestion model of net capacitance and delay.
+
+    Attributes
+    ----------
+    base_capacitance_pf:
+        Capacitance of a minimal point-to-point route (driver output cap
+        plus one switch-box hop plus the load pin).
+    capacitance_per_fanout_pf:
+        Additional capacitance per extra load pin (each adds route
+        segments and programmable switch points).
+    congestion_alpha:
+        Congestion inflation: nets cost ``1 + alpha * utilization`` times
+        more as the design fills the device and routes detour.
+    dedicated_route_capacitance_pf:
+        Capacitance of the dedicated cascade routes between adjacent
+        BRAMs (paper §4.1: series-joined memories use "high speed
+        dedicated interconnects", far cheaper than general routing).
+    base_delay_ns / delay_per_fanout_ns:
+        Matching route-delay model for the timing estimates.
+    """
+
+    base_capacitance_pf: float = 0.212
+    capacitance_per_fanout_pf: float = 0.108
+    congestion_alpha: float = 1.5
+    dedicated_route_capacitance_pf: float = 0.15
+    base_delay_ns: float = 0.35
+    delay_per_fanout_ns: float = 0.09
+
+    def net_capacitance_pf(self, fanout: int, utilization: float = 0.0) -> float:
+        """Effective switched capacitance of one net, in pF.
+
+        ``fanout`` is the number of load pins; a dangling net burns no
+        routing. ``utilization`` is the fraction of device slices in use.
+        """
+        if fanout <= 0:
+            return 0.0
+        congestion = 1.0 + self.congestion_alpha * max(0.0, min(1.0, utilization))
+        return congestion * (
+            self.base_capacitance_pf
+            + self.capacitance_per_fanout_pf * (fanout - 1)
+        )
+
+    def net_delay_ns(self, fanout: int, utilization: float = 0.0) -> float:
+        """Route delay seen by the critical sink of a net, in ns."""
+        if fanout <= 0:
+            return 0.0
+        congestion = 1.0 + 0.5 * self.congestion_alpha * max(0.0, min(1.0, utilization))
+        return congestion * (
+            self.base_delay_ns + self.delay_per_fanout_ns * (fanout - 1)
+        )

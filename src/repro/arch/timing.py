@@ -1,0 +1,134 @@
+"""Timing model for both FSM implementations.
+
+Reproduces the paper's timing claims quantitatively:
+
+* FF implementation: the critical path is FF clock-to-Q, then ``depth``
+  LUT levels each with a route hop, then FF setup — so Fmax *degrades*
+  as the mapped logic deepens with FSM complexity.
+* ROM implementation: the critical path is BRAM clock-to-out, one route
+  back to the BRAM address pins (plus the input multiplexer LUT level
+  when column compaction is used), then BRAM address setup — essentially
+  *fixed* ("no matter how many state transitions an FSM may have the
+  timing of it does not change", §4.2).
+* Clock control (§6): the enable logic sits in front of the BRAM EN pin,
+  so its LUT depth lengthens the ROM implementation's period ("the clock
+  frequency of the design will be slower proportional to the delay
+  introduced by the clock control logic").
+
+Delay constants approximate the Virtex-II -6 speed grade data sheet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.interconnect import InterconnectModel
+
+__all__ = ["TimingModel", "TimingReport"]
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Critical-path summary for one implementation."""
+
+    critical_path_ns: float
+    description: str
+
+    @property
+    def fmax_mhz(self) -> float:
+        if self.critical_path_ns <= 0:
+            return float("inf")
+        return 1000.0 / self.critical_path_ns
+
+    def supports_mhz(self, frequency_mhz: float) -> bool:
+        return frequency_mhz <= self.fmax_mhz + 1e-9
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Virtex-II -6 class pin-to-pin delays (ns)."""
+
+    lut_delay_ns: float = 0.44          # LUT4 propagation
+    ff_clk_to_q_ns: float = 0.45
+    ff_setup_ns: float = 0.35
+    bram_clk_to_out_ns: float = 2.10    # synchronous read latency
+    bram_addr_setup_ns: float = 0.50
+    bram_en_setup_ns: float = 0.70      # EN is sampled like an address
+    interconnect: InterconnectModel = InterconnectModel()
+
+    def ff_implementation(
+        self, lut_depth: int, avg_fanout: float = 2.0, utilization: float = 0.0
+    ) -> TimingReport:
+        """Critical path of the FF/LUT implementation.
+
+        ``lut_depth`` is the mapped LUT levels of the next-state logic;
+        each level pays one LUT delay plus one route hop.
+        """
+        route = self.interconnect.net_delay_ns(max(1, round(avg_fanout)), utilization)
+        path = (
+            self.ff_clk_to_q_ns
+            + lut_depth * (self.lut_delay_ns + route)
+            + self.ff_setup_ns
+        )
+        return TimingReport(
+            critical_path_ns=path,
+            description=(
+                f"FF->({lut_depth} LUT levels + routing)->FF "
+                f"at utilization {utilization:.0%}"
+            ),
+        )
+
+    def rom_implementation(
+        self,
+        mux_levels: int = 0,
+        series_brams: int = 1,
+        utilization: float = 0.0,
+    ) -> TimingReport:
+        """Critical path of the BRAM implementation.
+
+        ``mux_levels`` counts the LUT levels of the input multiplexer
+        inserted by column compaction (0 when none); ``series_brams``
+        adds the dedicated-route hop between cascaded blocks.
+        """
+        route = self.interconnect.net_delay_ns(1, utilization)
+        path = (
+            self.bram_clk_to_out_ns
+            + route
+            + mux_levels * (self.lut_delay_ns + route)
+            + max(0, series_brams - 1) * 0.25  # dedicated cascade hop
+            + self.bram_addr_setup_ns
+        )
+        return TimingReport(
+            critical_path_ns=path,
+            description=(
+                f"BRAM->route->{mux_levels} mux LUT levels->BRAM addr "
+                f"({series_brams} block(s) in series)"
+            ),
+        )
+
+    def rom_with_clock_control(
+        self,
+        base: TimingReport,
+        control_depth: int,
+        utilization: float = 0.0,
+    ) -> TimingReport:
+        """ROM path extended by the enable (clock-control) logic.
+
+        The control logic reads state bits/inputs/outputs and must settle
+        before the BRAM samples EN, so its LUT depth adds to the period.
+        """
+        route = self.interconnect.net_delay_ns(1, utilization)
+        extra = control_depth * (self.lut_delay_ns + route)
+        en_path = (
+            self.bram_clk_to_out_ns
+            + route
+            + extra
+            + self.bram_en_setup_ns
+        )
+        path = max(base.critical_path_ns, en_path)
+        return TimingReport(
+            critical_path_ns=path,
+            description=(
+                f"{base.description}; EN path adds {control_depth} LUT levels"
+            ),
+        )

@@ -1,0 +1,27 @@
+"""Benchmark FSMs.
+
+The paper evaluates on MCNC LGSynth benchmark STGs (dk, tbk, keyb,
+donfile, sand, styr, ex1, planet) plus PREP's prep4.  The original
+``.kiss2`` files are not redistributable here, so the suite regenerates
+each circuit from its *published statistics* (state/input/output counts,
+transition counts, don't-care structure) with a deterministic seeded
+generator — see DESIGN.md section 2 for why this substitution preserves
+the paper's trends.
+"""
+
+from repro.bench.generator import GeneratorSpec, generate_fsm
+from repro.bench.suite import (
+    BENCHMARK_SPECS,
+    PAPER_BENCHMARKS,
+    benchmark_stats,
+    load_benchmark,
+)
+
+__all__ = [
+    "GeneratorSpec",
+    "generate_fsm",
+    "BENCHMARK_SPECS",
+    "PAPER_BENCHMARKS",
+    "benchmark_stats",
+    "load_benchmark",
+]

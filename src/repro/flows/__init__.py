@@ -1,0 +1,27 @@
+"""End-to-end experiment flows: implement both designs, simulate,
+estimate power, and regenerate the paper's tables."""
+
+from repro.flows.flow import (
+    EvaluationResult,
+    PAPER_FREQUENCIES_MHZ,
+    evaluate_benchmark,
+    implement_ff,
+    implement_rom,
+)
+from repro.flows.design import DesignReport, FsmChoice, FsmDesign
+from repro.flows.tables import table1, table2, table3, table4
+
+__all__ = [
+    "EvaluationResult",
+    "PAPER_FREQUENCIES_MHZ",
+    "evaluate_benchmark",
+    "implement_ff",
+    "implement_rom",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "FsmDesign",
+    "FsmChoice",
+    "DesignReport",
+]

@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+Subcommands mirror the paper's artifacts::
+
+    romfsm tables [--cycles N] [--seed S] [--idle F]   # Tables 1-4
+    romfsm map FILE.kiss2 [--clock-control] [--vhdl OUT.vhd]
+    romfsm eval FILE.kiss2 [--freq MHZ ...]
+    romfsm bench-stats                                  # suite statistics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.suite import PAPER_BENCHMARKS, benchmark_stats
+from repro.flows.flow import PAPER_FREQUENCIES_MHZ, evaluate_benchmark
+from repro.flows.tables import run_all, table1, table2, table3, table4
+from repro.fsm.kiss import load_kiss_file, save_kiss_file
+from repro.power.report import format_table
+from repro.romfsm.mapper import map_fsm_to_rom
+from repro.romfsm.vhdl import rom_fsm_vhdl, rom_fsm_vhdl_structural
+
+__all__ = ["main"]
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    results = run_all(
+        num_cycles=args.cycles, seed=args.seed, idle_fraction=args.idle
+    )
+    rendered = [table(results) for table in (table1, table2, table3, table4)]
+    for table in rendered:
+        print(table.text)
+        print()
+    if args.out:
+        target = Path(args.out)
+        target.mkdir(parents=True, exist_ok=True)
+        for index, table in enumerate(rendered, start=1):
+            path = target / f"table{index}.txt"
+            path.write_text(table.text + "\n")
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    fsm = load_kiss_file(args.file)
+    impl = map_fsm_to_rom(
+        fsm,
+        clock_control=args.clock_control,
+        moore_outputs=args.moore_outputs,
+        force_compaction=args.force_compaction,
+    )
+    util = impl.utilization
+    print(f"FSM {fsm.name}: {fsm.num_states} states, "
+          f"{fsm.num_inputs} in, {fsm.num_outputs} out")
+    print(f"  BRAM config   : {impl.config.name} x{impl.num_brams} "
+          f"({impl.parallel_brams} parallel, {impl.series_brams} series)")
+    compacted = " (column compacted)" if impl.compaction else ""
+    print(f"  address bits  : {impl.layout.addr_bits}{compacted}")
+    print(f"  data bits     : {impl.layout.data_bits}")
+    print(f"  LUT overhead  : {util.luts} ({util.slices} slices)")
+    if impl.clock_control is not None:
+        print(f"  clock control : {impl.clock_control.num_luts} LUTs, "
+              f"depth {impl.clock_control.depth}")
+    if args.vhdl:
+        writer = rom_fsm_vhdl_structural if args.structural else rom_fsm_vhdl
+        Path(args.vhdl).write_text(writer(impl))
+        style = "structural RAMB16" if args.structural else "inferred ROM"
+        print(f"  VHDL written  : {args.vhdl} ({style})")
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    fsm = load_kiss_file(args.file)
+    result = evaluate_benchmark(
+        fsm,
+        frequencies_mhz=args.freq,
+        num_cycles=args.cycles,
+        idle_fraction=args.idle,
+        seed=args.seed,
+    )
+    rows = []
+    for f in args.freq:
+        key = f"{f:g}"
+        rows.append([
+            f"{f:g} MHz",
+            result.ff_power[key].total_mw,
+            result.rom_power[key].total_mw,
+            result.rom_cc_power[key].total_mw,
+        ])
+    print(format_table(
+        ["frequency", "FF (mW)", "EMB (mW)", "EMB+cc (mW)"], rows
+    ))
+    print(f"\nsaving @ {args.freq[-1]:g} MHz : "
+          f"{result.saving_percent(args.freq[-1]):.1f}% "
+          f"(with clock control: {result.cc_saving_percent(args.freq[-1]):.1f}%"
+          f" at {100 * result.achieved_idle_fraction:.0f}% idle)")
+    print(f"FF fmax  : {result.ff_timing.fmax_mhz:.1f} MHz")
+    print(f"EMB fmax : {result.rom_timing.fmax_mhz:.1f} MHz")
+    return 0
+
+
+def _cmd_blif(args: argparse.Namespace) -> int:
+    from repro.synth.blif import ff_implementation_vhdl, write_blif
+    from repro.synth.ff_synth import synthesize_ff
+
+    fsm = load_kiss_file(args.file)
+    impl = synthesize_ff(fsm, encoding_style=args.encoding)
+    print(f"FF baseline for {fsm.name}: {impl.num_luts} LUTs, "
+          f"{impl.num_ffs} FFs ({impl.encoding.style} encoding)")
+    if args.out:
+        Path(args.out).write_text(write_blif(impl))
+        print(f"BLIF written  : {args.out}")
+    else:
+        print(write_blif(impl))
+    if args.vhdl:
+        Path(args.vhdl).write_text(ff_implementation_vhdl(impl))
+        print(f"VHDL written  : {args.vhdl}")
+    return 0
+
+
+def _cmd_dump_bench(args: argparse.Namespace) -> int:
+    from repro.bench.suite import load_benchmark
+
+    target = Path(args.dir)
+    target.mkdir(parents=True, exist_ok=True)
+    for name in PAPER_BENCHMARKS:
+        path = target / f"{name}.kiss2"
+        save_kiss_file(load_benchmark(name), path)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_bench_stats(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in PAPER_BENCHMARKS:
+        st = benchmark_stats(name)
+        rows.append([
+            name, st.num_states, st.num_inputs, st.num_outputs,
+            st.num_transitions, f"{st.dont_care_density:.2f}",
+            st.max_state_inputs,
+            "moore" if st.is_moore else "mealy",
+        ])
+    print(format_table(
+        ["benchmark", "states", "in", "out", "edges", "dc-density",
+         "max care-in", "kind"],
+        rows,
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="romfsm",
+        description=(
+            "ROM-based FSM mapping for FPGA embedded memory blocks "
+            "(DATE 2004 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tables", help="regenerate the paper's Tables 1-4")
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=2004)
+    p.add_argument("--idle", type=float, default=0.5)
+    p.add_argument("--out", help="also write table{1..4}.txt to this dir")
+    p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("map", help="map a .kiss2 FSM into block RAM")
+    p.add_argument("file")
+    p.add_argument("--clock-control", action="store_true")
+    p.add_argument("--moore-outputs", default="auto",
+                   choices=["auto", "external", "internal"])
+    p.add_argument("--force-compaction", action="store_true")
+    p.add_argument("--vhdl", help="write synthesizable VHDL to this path")
+    p.add_argument("--structural", action="store_true",
+                   help="instantiate RAMB16 primitives with INIT generics "
+                        "instead of an inferred ROM")
+    p.set_defaults(func=_cmd_map)
+
+    p = sub.add_parser("eval", help="power-compare both implementations")
+    p.add_argument("file")
+    p.add_argument("--freq", type=float, nargs="+",
+                   default=list(PAPER_FREQUENCIES_MHZ))
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--idle", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=2004)
+    p.set_defaults(func=_cmd_eval)
+
+    p = sub.add_parser(
+        "blif", help="emit the FF baseline as BLIF (and optional VHDL)"
+    )
+    p.add_argument("file")
+    p.add_argument("--encoding", default="binary",
+                   choices=["binary", "gray", "one-hot", "johnson"])
+    p.add_argument("--out", help="write BLIF here instead of stdout")
+    p.add_argument("--vhdl", help="also write structural VHDL here")
+    p.set_defaults(func=_cmd_blif)
+
+    p = sub.add_parser("bench-stats", help="print benchmark STG statistics")
+    p.set_defaults(func=_cmd_bench_stats)
+
+    p = sub.add_parser(
+        "dump-bench",
+        help="write the regenerated benchmark suite as .kiss2 files",
+    )
+    p.add_argument("dir", help="target directory")
+    p.set_defaults(func=_cmd_dump_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,250 @@
+"""Design-level mapping: many FSMs, one device, limited memory blocks.
+
+The paper's motivation (§1) is design-level: "Since different designs
+have varying memory requirements some embedded memory arrays may not be
+utilized in logic-intensive designs.  These unutilized memory arrays
+can be used to implement control units and FSMs, which will unburden
+the routing resources and reduce power consumption of a design."
+
+:class:`FsmDesign` models that situation: a set of control FSMs on one
+device with a budget of *spare* block RAMs (whatever the datapath did
+not consume).  :meth:`FsmDesign.implement` evaluates both
+implementations for every machine and allocates the spare blocks to the
+FSMs where the memory mapping saves the most power, falling back to the
+FF implementation when blocks run out (a greedy knapsack by saving per
+block, which is optimal here because almost every mapping costs one
+block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.device import Device, Utilization, get_device
+from repro.fsm.machine import FSM
+from repro.fsm.simulate import idle_biased_stimulus, random_stimulus
+from repro.power.activity import extract_ff_activity, extract_rom_activity
+from repro.power.estimator import (
+    PowerReport,
+    estimate_ff_power,
+    estimate_rom_power,
+)
+from repro.power.params import PowerParams, VIRTEX2_PARAMS
+from repro.romfsm.mapper import MappingError, map_fsm_to_rom
+from repro.synth.ff_synth import synthesize_ff
+from repro.synth.netsim import simulate_ff_netlist
+
+__all__ = ["FsmChoice", "DesignReport", "FsmDesign"]
+
+
+@dataclass
+class FsmChoice:
+    """The selected implementation for one FSM in the design."""
+
+    name: str
+    kind: str                     # "ff" | "rom" | "rom+cc"
+    utilization: Utilization
+    power_mw: float
+    ff_power_mw: float            # the baseline, for the saving column
+    brams: int
+
+    @property
+    def saving_percent(self) -> float:
+        if self.ff_power_mw == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.power_mw / self.ff_power_mw)
+
+
+@dataclass
+class DesignReport:
+    """Outcome of mapping the whole design."""
+
+    device: Device
+    choices: List[FsmChoice]
+    spare_brams: int
+
+    @property
+    def total_power_mw(self) -> float:
+        return sum(c.power_mw for c in self.choices)
+
+    @property
+    def baseline_power_mw(self) -> float:
+        return sum(c.ff_power_mw for c in self.choices)
+
+    @property
+    def total_utilization(self) -> Utilization:
+        total = Utilization()
+        for choice in self.choices:
+            total = total + choice.utilization
+        return total
+
+    @property
+    def brams_used(self) -> int:
+        return sum(c.brams for c in self.choices)
+
+    @property
+    def saving_percent(self) -> float:
+        base = self.baseline_power_mw
+        if base == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.total_power_mw / base)
+
+    def fits(self) -> bool:
+        util = self.total_utilization
+        return (
+            util.slices <= self.device.slices
+            and self.brams_used <= self.spare_brams
+        )
+
+
+class FsmDesign:
+    """A collection of control FSMs to place on one device."""
+
+    def __init__(
+        self,
+        device: Optional[Device] = None,
+        spare_brams: Optional[int] = None,
+        params: PowerParams = VIRTEX2_PARAMS,
+    ):
+        self.device = device or get_device()
+        self.spare_brams = (
+            spare_brams if spare_brams is not None else self.device.brams
+        )
+        self.params = params
+        self._fsms: List[Tuple[FSM, str, float]] = []
+
+    def add(
+        self, fsm: FSM, policy: str = "auto", idle_fraction: float = 0.0
+    ) -> None:
+        """Register a machine.
+
+        ``policy``: ``"auto"`` (let the allocator decide), ``"ff"``,
+        ``"rom"`` or ``"rom+cc"`` (force).  ``idle_fraction`` describes
+        the machine's expected idle occupancy; above ~0.2 the allocator
+        also considers the clock-controlled variant.
+        """
+        if policy not in ("auto", "ff", "rom", "rom+cc"):
+            raise ValueError(f"unknown policy {policy!r}")
+        fsm.validate()
+        self._fsms.append((fsm, policy, idle_fraction))
+
+    def __len__(self) -> int:
+        return len(self._fsms)
+
+    # ------------------------------------------------------------------
+
+    def _evaluate_one(
+        self, fsm: FSM, idle_fraction: float, frequency_mhz: float,
+        num_cycles: int, seed: int,
+    ) -> Dict[str, Tuple[float, Utilization, int]]:
+        """Candidate implementations: kind -> (power, utilization, brams)."""
+        if idle_fraction > 0:
+            stimulus = idle_biased_stimulus(
+                fsm, num_cycles, idle_fraction, seed=seed
+            )
+        else:
+            stimulus = random_stimulus(fsm.num_inputs, num_cycles, seed=seed)
+
+        candidates: Dict[str, Tuple[float, Utilization, int]] = {}
+        ff = synthesize_ff(fsm)
+        ff_power = estimate_ff_power(
+            ff, extract_ff_activity(ff, simulate_ff_netlist(ff, stimulus)),
+            frequency_mhz, self.device, self.params,
+        )
+        candidates["ff"] = (ff_power.total_mw, ff.utilization, 0)
+
+        try:
+            rom = map_fsm_to_rom(fsm)
+            rom_power = estimate_rom_power(
+                rom, extract_rom_activity(rom, rom.run(stimulus)),
+                frequency_mhz, self.device, self.params,
+            )
+            candidates["rom"] = (
+                rom_power.total_mw, rom.utilization, rom.num_brams
+            )
+            if idle_fraction >= 0.2:
+                cc = map_fsm_to_rom(fsm, clock_control=True)
+                cc_power = estimate_rom_power(
+                    cc, extract_rom_activity(cc, cc.run(stimulus)),
+                    frequency_mhz, self.device, self.params,
+                )
+                candidates["rom+cc"] = (
+                    cc_power.total_mw, cc.utilization, cc.num_brams
+                )
+        except MappingError:
+            pass  # machine too wide for the memory approach: FF only
+        return candidates
+
+    def implement(
+        self,
+        frequency_mhz: float = 100.0,
+        num_cycles: int = 1000,
+        seed: int = 2004,
+    ) -> DesignReport:
+        """Evaluate every machine and allocate the spare memory blocks."""
+        evaluated = []
+        for fsm, policy, idle_fraction in self._fsms:
+            candidates = self._evaluate_one(
+                fsm, idle_fraction, frequency_mhz, num_cycles, seed
+            )
+            evaluated.append((fsm, policy, candidates))
+
+        choices: List[FsmChoice] = []
+        budget = self.spare_brams
+
+        # Forced policies claim their resources first.
+        pending: List[Tuple[FSM, Dict]] = []
+        for fsm, policy, candidates in evaluated:
+            ff_mw = candidates["ff"][0]
+            if policy == "ff":
+                mw, util, brams = candidates["ff"]
+                choices.append(FsmChoice(fsm.name, "ff", util, mw, ff_mw, 0))
+            elif policy in ("rom", "rom+cc"):
+                if policy not in candidates:
+                    raise MappingError(
+                        f"{fsm.name}: forced policy {policy!r} is infeasible"
+                    )
+                mw, util, brams = candidates[policy]
+                if brams > budget:
+                    raise MappingError(
+                        f"{fsm.name}: {brams} block(s) needed, "
+                        f"{budget} spare"
+                    )
+                budget -= brams
+                choices.append(
+                    FsmChoice(fsm.name, policy, util, mw, ff_mw, brams)
+                )
+            else:
+                pending.append((fsm, candidates))
+
+        # Auto machines: greedy by power saved per memory block.
+        ranked = []
+        for fsm, candidates in pending:
+            ff_mw, ff_util, _ = candidates["ff"]
+            best_kind, best = "ff", candidates["ff"]
+            for kind in ("rom+cc", "rom"):
+                if kind in candidates and candidates[kind][0] < best[0]:
+                    best_kind, best = kind, candidates[kind]
+            gain = ff_mw - best[0]
+            per_block = gain / max(best[2], 1)
+            ranked.append((per_block, fsm, candidates, best_kind))
+        ranked.sort(key=lambda item: item[0], reverse=True)
+
+        for per_block, fsm, candidates, best_kind in ranked:
+            ff_mw, ff_util, _ = candidates["ff"]
+            if best_kind != "ff" and candidates[best_kind][2] <= budget \
+                    and candidates[best_kind][0] < ff_mw:
+                mw, util, brams = candidates[best_kind]
+                budget -= brams
+                choices.append(
+                    FsmChoice(fsm.name, best_kind, util, mw, ff_mw, brams)
+                )
+            else:
+                choices.append(
+                    FsmChoice(fsm.name, "ff", ff_util, ff_mw, ff_mw, 0)
+                )
+
+        return DesignReport(
+            device=self.device, choices=choices, spare_brams=self.spare_brams
+        )

@@ -1,0 +1,95 @@
+"""Graph views of state-transition graphs.
+
+Utilities a downstream user expects from an FSM library: conversion to
+a :mod:`networkx` digraph for structural analysis (strongly connected
+components, absorbing sinks, diameter-style metrics) and Graphviz DOT
+export for documentation — the form in which the paper draws its
+Fig. 2a state diagram.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from repro.fsm.machine import FSM
+
+__all__ = [
+    "to_networkx",
+    "strongly_connected_components",
+    "absorbing_components",
+    "is_strongly_connected",
+    "to_dot",
+]
+
+
+def to_networkx(fsm: FSM) -> "nx.MultiDiGraph":
+    """STG as a MultiDiGraph; edges carry cube/output/weight attributes."""
+    graph = nx.MultiDiGraph(name=fsm.name)
+    for state in fsm.states:
+        graph.add_node(state, reset=(state == fsm.reset_state))
+    for t in fsm.transitions:
+        graph.add_edge(
+            t.src, t.dst,
+            inputs=str(t.inputs),
+            outputs=t.outputs,
+            weight=t.inputs.num_minterms(),
+        )
+    return graph
+
+
+def strongly_connected_components(fsm: FSM) -> List[Set[str]]:
+    """SCCs of the STG, largest first."""
+    graph = to_networkx(fsm)
+    return sorted(nx.strongly_connected_components(graph),
+                  key=len, reverse=True)
+
+
+def is_strongly_connected(fsm: FSM) -> bool:
+    return len(strongly_connected_components(fsm)) == 1
+
+
+def absorbing_components(fsm: FSM) -> List[Set[str]]:
+    """SCCs with no edge leaving them (the machine can never escape).
+
+    A deployed controller with an unintended absorbing component is a
+    design bug the graph view surfaces immediately; the benchmark
+    generator is tested to never produce one.
+    """
+    graph = to_networkx(fsm)
+    condensation = nx.condensation(graph)
+    sinks = [
+        node for node in condensation.nodes
+        if condensation.out_degree(node) == 0
+    ]
+    return [set(condensation.nodes[node]["members"]) for node in sinks]
+
+
+def to_dot(fsm: FSM, merge_parallel_edges: bool = True) -> str:
+    """Graphviz DOT text of the STG (the paper's Fig. 2a rendering)."""
+    lines = [f'digraph "{fsm.name}" {{', "  rankdir=LR;"]
+    lines.append('  node [shape=circle, fontsize=11];')
+    for state in fsm.states:
+        attrs = []
+        if state == fsm.reset_state:
+            attrs.append("shape=doublecircle")
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f'  "{state}"{suffix};')
+    if merge_parallel_edges:
+        merged: Dict[Tuple[str, str], List[str]] = {}
+        for t in fsm.transitions:
+            merged.setdefault((t.src, t.dst), []).append(
+                f"{t.inputs}/{t.outputs}"
+            )
+        for (src, dst), labels in merged.items():
+            label = "\\n".join(labels)
+            lines.append(f'  "{src}" -> "{dst}" [label="{label}"];')
+    else:
+        for t in fsm.transitions:
+            lines.append(
+                f'  "{t.src}" -> "{t.dst}" '
+                f'[label="{t.inputs}/{t.outputs}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,261 @@
+"""The finite-state-machine model.
+
+The paper (section 4) describes an FSM by the six-tuple ``(I, O, S, r0,
+delta, Y)``.  :class:`FSM` stores exactly that, as a state-transition
+graph whose edges carry *ternary input cubes* — the format of the MCNC
+``.kiss2`` benchmarks the paper evaluates on.  Output patterns may also
+contain don't-cares (``-``), which downstream flows resolve to 0 (the
+convention SIS applies when it synthesizes the STG to logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.logic.cube import Cube
+
+__all__ = ["FsmError", "Transition", "FSM"]
+
+
+class FsmError(ValueError):
+    """Raised for structurally invalid machines or transitions."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One STG edge: ``src --input_cube / output--> dst``."""
+
+    src: str
+    dst: str
+    inputs: Cube
+    outputs: str  # pattern over {'0','1','-'}, one char per output
+
+    def __post_init__(self) -> None:
+        for ch in self.outputs:
+            if ch not in "01-":
+                raise FsmError(f"invalid output character {ch!r} in {self.outputs!r}")
+
+    def resolved_outputs(self) -> str:
+        """Output pattern with don't-cares resolved to '0'."""
+        return self.outputs.replace("-", "0")
+
+    def output_bits(self) -> int:
+        """Resolved outputs as an int, bit ``i`` = output ``i``."""
+        bits = 0
+        for i, ch in enumerate(self.resolved_outputs()):
+            if ch == "1":
+                bits |= 1 << i
+        return bits
+
+
+class FSM:
+    """A Mealy (or Moore-shaped Mealy) finite-state machine.
+
+    Parameters
+    ----------
+    name:
+        Circuit name (benchmark id).
+    num_inputs / num_outputs:
+        Bit widths of the input and output vectors.
+    states:
+        Ordered state names; order is meaningful (encoders follow it).
+    reset_state:
+        Initial state ``r0``; must appear in ``states``.
+    transitions:
+        STG edges.  Multiple edges may leave a state; their input cubes
+        should be disjoint for a deterministic machine (checked by
+        :meth:`check_deterministic`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_inputs: int,
+        num_outputs: int,
+        states: Sequence[str],
+        reset_state: str,
+        transitions: Iterable[Transition] = (),
+    ):
+        if num_inputs < 0 or num_outputs < 0:
+            raise FsmError("input/output counts must be non-negative")
+        if not states:
+            raise FsmError("an FSM needs at least one state")
+        if len(set(states)) != len(states):
+            raise FsmError("duplicate state names")
+        if reset_state not in states:
+            raise FsmError(f"reset state {reset_state!r} not in state list")
+        self.name = name
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.states: List[str] = list(states)
+        self.reset_state = reset_state
+        self.transitions: List[Transition] = []
+        self._by_src: Dict[str, List[Transition]] = {s: [] for s in self.states}
+        for t in transitions:
+            self.add_transition(t)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_transition(self, t: Transition) -> None:
+        if t.src not in self._by_src:
+            raise FsmError(f"unknown source state {t.src!r}")
+        if t.dst not in self._by_src:
+            raise FsmError(f"unknown destination state {t.dst!r}")
+        if t.inputs.n_vars != self.num_inputs:
+            raise FsmError(
+                f"transition input cube has {t.inputs.n_vars} vars, "
+                f"machine has {self.num_inputs} inputs"
+            )
+        if len(t.outputs) != self.num_outputs:
+            raise FsmError(
+                f"transition output pattern has {len(t.outputs)} bits, "
+                f"machine has {self.num_outputs} outputs"
+            )
+        self.transitions.append(t)
+        self._by_src[t.src].append(t)
+
+    def add(self, src: str, inputs: str, dst: str, outputs: str) -> None:
+        """Shorthand: ``fsm.add('A', '0-', 'B', '1')``."""
+        self.add_transition(
+            Transition(src=src, dst=dst, inputs=Cube.from_string(inputs),
+                       outputs=outputs)
+        )
+
+    def copy(self, name: Optional[str] = None) -> "FSM":
+        return FSM(
+            name or self.name,
+            self.num_inputs,
+            self.num_outputs,
+            self.states,
+            self.reset_state,
+            self.transitions,
+        )
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def input_names(self) -> List[str]:
+        return [f"in{i}" for i in range(self.num_inputs)]
+
+    @property
+    def output_names(self) -> List[str]:
+        return [f"out{i}" for i in range(self.num_outputs)]
+
+    def transitions_from(self, state: str) -> List[Transition]:
+        if state not in self._by_src:
+            raise FsmError(f"unknown state {state!r}")
+        return list(self._by_src[state])
+
+    def state_index(self, state: str) -> int:
+        try:
+            return self.states.index(state)
+        except ValueError:
+            raise FsmError(f"unknown state {state!r}") from None
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def lookup(self, state: str, input_bits: int) -> Optional[Transition]:
+        """The transition taken from ``state`` on ``input_bits``, or None.
+
+        ``input_bits`` packs input ``i`` into bit ``i``.  Returns the
+        first matching transition (for a deterministic machine there is
+        at most one).  None means the behaviour is unspecified in the
+        STG; simulation treats that as a hold (self-loop, outputs 0).
+        """
+        for t in self._by_src.get(state, ()):
+            if t.inputs.contains_minterm(input_bits):
+                return t
+        return None
+
+    def step(self, state: str, input_bits: int) -> Tuple[str, int]:
+        """Next state and resolved output bits (unspecified -> hold, 0)."""
+        t = self.lookup(state, input_bits)
+        if t is None:
+            return state, 0
+        return t.dst, t.output_bits()
+
+    # ------------------------------------------------------------------
+    # Structural checks
+    # ------------------------------------------------------------------
+
+    def check_deterministic(self) -> List[Tuple[Transition, Transition]]:
+        """Return pairs of same-source transitions whose cubes overlap.
+
+        Overlapping pairs with identical (dst, outputs) are benign and
+        not reported; genuinely conflicting pairs are.
+        """
+        conflicts: List[Tuple[Transition, Transition]] = []
+        for state in self.states:
+            outgoing = self._by_src[state]
+            for i, a in enumerate(outgoing):
+                for b in outgoing[i + 1:]:
+                    if a.inputs.intersect(b.inputs) is None:
+                        continue
+                    if a.dst == b.dst and a.outputs == b.outputs:
+                        continue
+                    conflicts.append((a, b))
+        return conflicts
+
+    def is_deterministic(self) -> bool:
+        return not self.check_deterministic()
+
+    def is_complete(self) -> bool:
+        """True when every state specifies behaviour for every input."""
+        from repro.logic.cube import Cover
+        from repro.logic.minimize import is_tautology
+
+        for state in self.states:
+            cover = Cover(self.num_inputs, (t.inputs for t in self._by_src[state]))
+            if not is_tautology(cover):
+                return False
+        return True
+
+    def is_moore(self) -> bool:
+        """True when the output depends only on the current state.
+
+        In STG form that means all transitions *leaving* a given state
+        carry the same (resolved) output pattern.  (Equivalently the
+        output could be attached to states; the MCNC Moore benchmarks
+        are stored this way.)
+        """
+        for state in self.states:
+            outs = {t.resolved_outputs() for t in self._by_src[state]}
+            if len(outs) > 1:
+                return False
+        return True
+
+    def moore_output_of(self, state: str) -> Optional[str]:
+        """The state's unique resolved output pattern, if Moore-shaped."""
+        outs = {t.resolved_outputs() for t in self._by_src[state]}
+        if len(outs) == 1:
+            return next(iter(outs))
+        if not outs:
+            return "0" * self.num_outputs
+        return None
+
+    def validate(self) -> None:
+        """Raise :class:`FsmError` on structural problems."""
+        conflicts = self.check_deterministic()
+        if conflicts:
+            a, b = conflicts[0]
+            raise FsmError(
+                f"non-deterministic STG: state {a.src!r} has overlapping "
+                f"cubes {a.inputs} and {b.inputs} with different behaviour"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"FSM({self.name!r}, i={self.num_inputs}, o={self.num_outputs}, "
+            f"s={self.num_states}, p={len(self.transitions)})"
+        )

@@ -1,0 +1,200 @@
+"""Cycle-accurate FSM simulation and stimulus generation.
+
+This module plays the role of the ModelSim simulation in the paper's
+flow (Fig. 6): it drives the machine with input vectors and records the
+per-cycle trace from which switching activities (the ``.vcd`` file fed
+to XPower) are later extracted by :mod:`repro.power.activity`.
+
+Two stimulus generators are provided:
+
+* :func:`random_stimulus` — uniform random input vectors, the paper's
+  "large number of random inputs".
+* :func:`idle_biased_stimulus` — steers a target fraction of cycles into
+  *idle* steps (no state or output change), used to reproduce Table 3's
+  "average case (with 50% idle states)".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.fsm.machine import FSM
+
+__all__ = [
+    "SimulationTrace",
+    "FsmSimulator",
+    "random_stimulus",
+    "idle_biased_stimulus",
+    "toggle_counts",
+]
+
+
+@dataclass
+class SimulationTrace:
+    """Per-cycle record of an FSM run.
+
+    ``states[k]`` is the state *during* cycle ``k`` (before the clock
+    edge), ``inputs[k]`` the input vector applied in that cycle, and
+    ``outputs[k]`` the (Mealy) output produced in it.  All vectors pack
+    bit ``i`` of the signal into integer bit ``i``.
+    """
+
+    num_inputs: int
+    num_outputs: int
+    states: List[str] = field(default_factory=list)
+    inputs: List[int] = field(default_factory=list)
+    outputs: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_cycles(self) -> int:
+        return len(self.inputs)
+
+    def idle_cycles(self) -> int:
+        """Cycles where neither the state nor the output changes.
+
+        Cycle ``k`` is idle when the machine re-enters the same state
+        (``states[k+1] == states[k]``) and the output it produces equals
+        the previous cycle's output.  This matches the paper's section 6
+        definition of an idle state: "no state and output change", i.e.
+        clocking the BRAM in that cycle is wasted energy.
+        """
+        idle = 0
+        for k in range(len(self.inputs)):
+            next_state = self.states[k + 1] if k + 1 < len(self.states) else None
+            same_state = next_state == self.states[k]
+            same_output = k > 0 and self.outputs[k] == self.outputs[k - 1]
+            if same_state and (same_output or k == 0 and self.outputs[k] == 0):
+                idle += 1
+        return idle
+
+    def idle_fraction(self) -> float:
+        return self.idle_cycles() / len(self.inputs) if self.inputs else 0.0
+
+    def input_bit_column(self, bit: int) -> List[int]:
+        return [(v >> bit) & 1 for v in self.inputs]
+
+    def output_bit_column(self, bit: int) -> List[int]:
+        return [(v >> bit) & 1 for v in self.outputs]
+
+
+class FsmSimulator:
+    """Steps an FSM cycle by cycle, recording a :class:`SimulationTrace`.
+
+    Unspecified (state, input) pairs follow the hold convention: the
+    state is retained and the output is all zeros — the same resolution
+    every downstream implementation applies, so reference-vs-netlist
+    equivalence checks are exact.
+    """
+
+    def __init__(self, fsm: FSM):
+        self.fsm = fsm
+        self.state = fsm.reset_state
+
+    def reset(self) -> None:
+        self.state = self.fsm.reset_state
+
+    def step(self, input_bits: int) -> Tuple[str, int]:
+        """Apply one input vector; returns (next_state, output_bits)."""
+        next_state, output = self.fsm.step(self.state, input_bits)
+        self.state = next_state
+        return next_state, output
+
+    def run(self, stimulus: Iterable[int]) -> SimulationTrace:
+        """Run from reset over ``stimulus``; returns the full trace.
+
+        ``trace.states`` has one extra trailing entry: the state after
+        the final cycle, so state toggles of the last edge are counted.
+        """
+        self.reset()
+        trace = SimulationTrace(self.fsm.num_inputs, self.fsm.num_outputs)
+        trace.states.append(self.state)
+        for input_bits in stimulus:
+            limit = 1 << self.fsm.num_inputs
+            if not 0 <= input_bits < limit:
+                raise ValueError(
+                    f"input vector {input_bits:#x} out of range for "
+                    f"{self.fsm.num_inputs} inputs"
+                )
+            next_state, output = self.step(input_bits)
+            trace.inputs.append(input_bits)
+            trace.outputs.append(output)
+            trace.states.append(next_state)
+        return trace
+
+
+def random_stimulus(
+    num_inputs: int, num_cycles: int, seed: int = 0
+) -> List[int]:
+    """Uniform random input vectors (the paper's power-measurement drive)."""
+    rng = random.Random(seed)
+    limit = 1 << num_inputs
+    return [rng.randrange(limit) for _ in range(num_cycles)]
+
+
+def idle_biased_stimulus(
+    fsm: FSM,
+    num_cycles: int,
+    idle_fraction: float = 0.5,
+    seed: int = 0,
+    max_probes: int = 96,
+) -> List[int]:
+    """Stimulus steering ~``idle_fraction`` of cycles into idle steps.
+
+    A feedback controller compares the achieved idle fraction so far
+    with the target and picks the intent of the next cycle accordingly:
+    *idle intent* searches ``max_probes`` random inputs for one that
+    keeps the state and output unchanged (falling back to a self-loop,
+    which sets up an idle run on the next cycle of a Moore machine);
+    *active intent* searches for an input that changes state or output.
+    The achieved fraction still saturates below the target when the
+    machine simply lacks idle opportunities; Table 3's experiment
+    reports the achieved fraction alongside the power.
+    """
+    if not 0.0 <= idle_fraction <= 1.0:
+        raise ValueError(f"idle_fraction must be in [0, 1], got {idle_fraction}")
+    rng = random.Random(seed)
+    limit = 1 << fsm.num_inputs
+    stimulus: List[int] = []
+    state = fsm.reset_state
+    prev_output: Optional[int] = None
+    idle_count = 0
+
+    def classify(inp: int) -> Tuple[bool, bool]:
+        """(is_idle, is_self_loop) of taking ``inp`` from the current state."""
+        nxt, out = fsm.step(state, inp)
+        same_out = prev_output is None and out == 0 or out == prev_output
+        return nxt == state and same_out, nxt == state
+
+    for cycle in range(num_cycles):
+        want_idle = idle_count < idle_fraction * (cycle + 1)
+        chosen: Optional[int] = None
+        fallback: Optional[int] = None
+        for _probe in range(max_probes):
+            candidate = rng.randrange(limit)
+            idle, self_loop = classify(candidate)
+            if idle == want_idle:
+                chosen = candidate
+                break
+            if want_idle and self_loop and fallback is None:
+                fallback = candidate  # sets up an idle run next cycle
+        if chosen is None:
+            chosen = fallback if fallback is not None else rng.randrange(limit)
+        if classify(chosen)[0]:
+            idle_count += 1
+        stimulus.append(chosen)
+        state, prev_output = fsm.step(state, chosen)
+    return stimulus
+
+
+def toggle_counts(column: Sequence[int]) -> int:
+    """Number of 0<->1 transitions along a sampled signal column."""
+    toggles = 0
+    for prev, cur in zip(column, column[1:]):
+        if prev != cur:
+            toggles += 1
+    return toggles

@@ -1,0 +1,290 @@
+"""Two-level logic minimization in the style of espresso.
+
+This module provides the classic unate-recursive-paradigm primitives
+(tautology check and complement) plus an espresso-style
+EXPAND / IRREDUNDANT / REDUCE loop.  It stands in for the espresso pass
+that SIS applies to the FSM's combinational logic before technology
+mapping in the paper's experimental flow (paper Fig. 6).
+
+The minimizer is heuristic, as espresso is: it guarantees the result is a
+cover of the ON-set that stays inside ON ∪ DC, and it is verified for
+functional equivalence by the test-suite, but it does not guarantee
+minimality.  For the MCNC-scale FSMs in the paper (≤ ~20 input variables,
+a few hundred cubes) it runs in milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.logic.cube import Cover, Cube
+
+__all__ = [
+    "is_tautology",
+    "complement",
+    "espresso",
+    "minimize_function",
+]
+
+# Recursion safety valve; MCNC-scale functions stay well below this.
+_MAX_RECURSION_VARS = 64
+
+
+def _most_binate_var(cover: Cover) -> Optional[int]:
+    """Pick the best splitting variable for the unate recursive paradigm.
+
+    Prefers the most *binate* variable (appears in both polarities in the
+    most cubes); when the cover is unate, returns the most-bound variable;
+    returns None when no cube binds any variable.
+    """
+    n = cover.n_vars
+    count0 = [0] * n
+    count1 = [0] * n
+    for cube in cover:
+        care = cube.care_mask()
+        ones = cube.one_mask & care
+        for var in range(n):
+            bit = 1 << var
+            if care & bit:
+                if ones & bit:
+                    count1[var] += 1
+                else:
+                    count0[var] += 1
+    best_var = None
+    best_key: Tuple[int, int] = (-1, -1)
+    for var in range(n):
+        if count0[var] == 0 and count1[var] == 0:
+            continue
+        # Binate vars first (min polarity count), then total occurrences.
+        key = (min(count0[var], count1[var]), count0[var] + count1[var])
+        if key > best_key:
+            best_key = key
+            best_var = var
+    return best_var
+
+
+def _unate_reduction_tautology(cover: Cover) -> Optional[bool]:
+    """Fast tautology special cases; None when recursion is required."""
+    if any(c.is_full() for c in cover):
+        return True
+    if not cover.cubes:
+        return False
+    # A unate cover is a tautology iff it contains the universal cube.
+    # (Checked above.)  Detect unateness cheaply.
+    n = cover.n_vars
+    has0 = 0
+    has1 = 0
+    for cube in cover:
+        care = cube.care_mask()
+        has1 |= cube.one_mask & care
+        has0 |= care & ~cube.one_mask
+    if not (has0 & has1):  # unate in every variable
+        return False
+    # Quick necessary condition: minterm count must reach 2**n.
+    total = sum(c.num_minterms() for c in cover)
+    if total < (1 << n):
+        return False
+    return None
+
+
+def is_tautology(cover: Cover) -> bool:
+    """True when the cover evaluates to 1 for every input assignment."""
+    quick = _unate_reduction_tautology(cover)
+    if quick is not None:
+        return quick
+    var = _most_binate_var(cover)
+    if var is None:
+        # No cube binds any variable: tautology iff any cube is non-empty.
+        return bool(cover.cubes)
+    for value in (0, 1):
+        branch = Cover(cover.n_vars)
+        for cube in cover:
+            restricted = cube.restrict_var(var, value)
+            if restricted is not None:
+                branch.append(restricted.expand_var(var))
+        if not is_tautology(branch):
+            return False
+    return True
+
+
+def complement(cover: Cover) -> Cover:
+    """Compute a cover of the complement of ``cover``.
+
+    Uses the unate recursive paradigm: split on the most binate variable,
+    complement each cofactor, and merge with the splitting literal.
+    """
+    n = cover.n_vars
+    if not cover.cubes:
+        return Cover.universe(n)
+    if any(c.is_full() for c in cover):
+        return Cover.empty(n)
+    if len(cover) == 1:
+        return _complement_cube(cover.cubes[0])
+    var = _most_binate_var(cover)
+    if var is None:
+        return Cover.empty(n)
+    result = Cover(n)
+    for value in (0, 1):
+        branch = Cover(n)
+        for cube in cover:
+            restricted = cube.restrict_var(var, value)
+            if restricted is not None:
+                branch.append(restricted.expand_var(var))
+        comp = complement(branch)
+        for cube in comp:
+            bound = cube.restrict_var(var, value)
+            if bound is not None:
+                result.append(bound)
+    return result.single_cube_containment()
+
+
+def _complement_cube(cube: Cube) -> Cover:
+    """De Morgan complement of a single cube (one cube per bound literal)."""
+    n = cube.n_vars
+    result = Cover(n)
+    for var in range(n):
+        lit = cube.literal(var)
+        if lit == "0":
+            result.append(Cube.full(n).restrict_var(var, 1))  # type: ignore[arg-type]
+        elif lit == "1":
+            result.append(Cube.full(n).restrict_var(var, 0))  # type: ignore[arg-type]
+    return result
+
+
+# ----------------------------------------------------------------------
+# Espresso loop
+# ----------------------------------------------------------------------
+
+
+def _expand(on: Cover, off: Cover) -> Cover:
+    """EXPAND: grow each cube maximally without hitting the OFF-set.
+
+    Literals are raised greedily in an order that prefers freeing the
+    variables bound in the fewest OFF-set cubes; expanded cubes that
+    swallow other ON-cubes let us drop the swallowed ones.
+    """
+    n = on.n_vars
+    # How often each (var, value) literal blocks expansion.
+    cubes = sorted(on.cubes, key=Cube.num_literals, reverse=True)
+    expanded: List[Cube] = []
+    for cube in cubes:
+        if any(e.contains(cube) for e in expanded):
+            continue
+        current = cube
+        # Try raising literals one at a time, cheapest first.
+        order = sorted(
+            (v for v in range(n) if current.literal(v) in "01"),
+            key=lambda v: _blocking_count(off, v),
+        )
+        for var in order:
+            trial = current.expand_var(var)
+            if not _intersects_cover(trial, off):
+                current = trial
+        expanded.append(current)
+    return Cover(n, expanded).single_cube_containment()
+
+
+def _blocking_count(off: Cover, var: int) -> int:
+    """Number of OFF-set cubes that bind ``var`` (expansion risk proxy)."""
+    bit = 1 << var
+    return sum(1 for c in off if c.care_mask() & bit)
+
+
+def _intersects_cover(cube: Cube, cover: Cover) -> bool:
+    return any(cube.intersect(c) is not None for c in cover)
+
+
+def _irredundant(on: Cover, dc: Cover) -> Cover:
+    """IRREDUNDANT: drop cubes covered by the rest of the cover plus DC."""
+    cubes = list(on.cubes)
+    # Visit smallest cubes first: they are the most likely to be redundant.
+    for cube in sorted(cubes, key=Cube.num_literals, reverse=True):
+        rest = Cover(on.n_vars, [c for c in cubes if c is not cube] + dc.cubes)
+        if rest.covers_cube(cube):
+            cubes.remove(cube)
+    return Cover(on.n_vars, cubes)
+
+
+def _reduce(on: Cover, dc: Cover) -> Cover:
+    """REDUCE: shrink each cube to the supercube of its essential part.
+
+    The essential part of cube ``c`` is ``c`` minus what the rest of the
+    cover (plus DC) covers; reducing opens room for the next EXPAND to
+    find a different (hopefully smaller) local optimum.
+    """
+    n = on.n_vars
+    cubes = list(on.cubes)
+    reduced: List[Cube] = []
+    for i, cube in enumerate(cubes):
+        rest = Cover(n, [c for j, c in enumerate(cubes) if j != i] + list(dc.cubes))
+        rest_cf = rest.cofactor(cube)
+        comp = complement(rest_cf)
+        # supercube of (cube AND complement(rest cofactor cube))
+        essential = Cover(n)
+        for cc in comp:
+            inter = cc.intersect(cube)
+            if inter is not None:
+                essential.append(inter)
+        if essential.is_empty_function():
+            # Fully covered by the rest; keep as-is, IRREDUNDANT removes it.
+            reduced.append(cube)
+            continue
+        super_c = essential.cubes[0]
+        for cc in essential.cubes[1:]:
+            super_c = super_c.supercube(cc)
+        reduced.append(super_c)
+        cubes[i] = super_c
+    return Cover(n, reduced)
+
+
+def _cover_cost(cover: Cover) -> Tuple[int, int]:
+    return (len(cover), cover.num_literals())
+
+
+def espresso(on: Cover, dc: Optional[Cover] = None, max_iters: int = 8) -> Cover:
+    """Espresso-style heuristic minimization.
+
+    Parameters
+    ----------
+    on:
+        Cover of the ON-set.
+    dc:
+        Optional cover of the don't-care set.
+    max_iters:
+        Upper bound on EXPAND/IRREDUNDANT/REDUCE sweeps (the loop exits
+        as soon as the cost stops improving).
+
+    Returns
+    -------
+    Cover
+        A cover ``F`` with ON ⊆ F ⊆ ON ∪ DC.
+    """
+    n = on.n_vars
+    if dc is None:
+        dc = Cover.empty(n)
+    on = on.single_cube_containment()
+    if on.is_empty_function():
+        return on
+    off = complement(Cover(n, list(on.cubes) + list(dc.cubes)))
+    best = _irredundant(_expand(on, off), dc)
+    best_cost = _cover_cost(best)
+    current = best
+    for _ in range(max_iters):
+        current = _reduce(current, dc)
+        current = _expand(current, off)
+        current = _irredundant(current, dc)
+        cost = _cover_cost(current)
+        if cost < best_cost:
+            best, best_cost = current, cost
+        else:
+            break
+    return best
+
+
+def minimize_function(
+    on_patterns: List[str], dc_patterns: Optional[List[str]] = None
+) -> Cover:
+    """Convenience wrapper: minimize a function given as pattern strings."""
+    on = Cover.from_strings(on_patterns)
+    dc = Cover.from_strings(dc_patterns) if dc_patterns else None
+    return espresso(on, dc)

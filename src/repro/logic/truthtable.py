@@ -1,0 +1,160 @@
+"""Small-function truth tables packed into Python integers.
+
+A :class:`TruthTable` over ``n`` inputs stores the output column as the
+bits of an integer: bit ``m`` is the function value on the input
+assignment whose bit ``i`` gives input ``i``.  This is the natural
+representation for LUT configuration bits (a 4-LUT is exactly a 16-bit
+truth table) and for the per-LUT activity simulation in the power model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+__all__ = ["TruthTable"]
+
+_MAX_INPUTS = 20
+
+
+class TruthTable:
+    """An immutable truth table over ``n_inputs`` variables."""
+
+    __slots__ = ("n_inputs", "bits")
+
+    def __init__(self, n_inputs: int, bits: int):
+        if not 0 <= n_inputs <= _MAX_INPUTS:
+            raise ValueError(f"n_inputs must be in [0, {_MAX_INPUTS}], got {n_inputs}")
+        size = 1 << (1 << n_inputs)
+        if not 0 <= bits < size:
+            raise ValueError("truth-table bits out of range for input count")
+        self.n_inputs = n_inputs
+        self.bits = bits
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_function(cls, n_inputs: int, fn: Callable[..., int]) -> "TruthTable":
+        """Tabulate ``fn`` over all assignments; ``fn`` gets one int per input."""
+        bits = 0
+        for m in range(1 << n_inputs):
+            args = [(m >> i) & 1 for i in range(n_inputs)]
+            if fn(*args):
+                bits |= 1 << m
+        return cls(n_inputs, bits)
+
+    @classmethod
+    def from_outputs(cls, outputs: Iterable[int]) -> "TruthTable":
+        """Build from the output column listed in minterm order."""
+        values = list(outputs)
+        n = (len(values)).bit_length() - 1
+        if 1 << n != len(values):
+            raise ValueError("output column length must be a power of two")
+        bits = 0
+        for m, v in enumerate(values):
+            if v:
+                bits |= 1 << m
+        return cls(n, bits)
+
+    @classmethod
+    def constant(cls, n_inputs: int, value: int) -> "TruthTable":
+        size = 1 << n_inputs
+        return cls(n_inputs, ((1 << size) - 1) if value else 0)
+
+    @classmethod
+    def variable(cls, n_inputs: int, var: int) -> "TruthTable":
+        """The projection function returning input ``var``."""
+        return cls.from_function(n_inputs, lambda *args: args[var])
+
+    # ------------------------------------------------------------------
+    # Evaluation and inspection
+    # ------------------------------------------------------------------
+
+    def evaluate(self, assignment: int) -> int:
+        """Function value on ``assignment`` (bit i = input i)."""
+        return (self.bits >> assignment) & 1
+
+    def output_column(self) -> List[int]:
+        return [(self.bits >> m) & 1 for m in range(1 << self.n_inputs)]
+
+    def ones_count(self) -> int:
+        return bin(self.bits).count("1")
+
+    def is_constant(self) -> bool:
+        size = 1 << self.n_inputs
+        return self.bits == 0 or self.bits == (1 << size) - 1
+
+    def depends_on(self, var: int) -> bool:
+        """True when the function actually depends on input ``var``."""
+        for m in range(1 << self.n_inputs):
+            if not m >> var & 1:
+                if self.evaluate(m) != self.evaluate(m | (1 << var)):
+                    return True
+        return False
+
+    def support(self) -> List[int]:
+        """Indices of inputs the function truly depends on."""
+        return [v for v in range(self.n_inputs) if self.depends_on(v)]
+
+    def cofactor(self, var: int, value: int) -> "TruthTable":
+        """Restrict input ``var`` to ``value``; result has one fewer input."""
+        if not 0 <= var < self.n_inputs:
+            raise ValueError(f"variable {var} out of range")
+        bits = 0
+        out = 0
+        for m in range(1 << (self.n_inputs - 1)):
+            low = m & ((1 << var) - 1)
+            high = (m >> var) << (var + 1)
+            full = low | high | ((value & 1) << var)
+            if self.evaluate(full):
+                bits |= 1 << m
+        return TruthTable(self.n_inputs - 1, bits)
+
+    def shrink_to_support(self) -> "tuple[TruthTable, List[int]]":
+        """Drop inputs the function ignores; returns (table, kept_vars)."""
+        kept = self.support()
+        if len(kept) == self.n_inputs:
+            return self, kept
+        table = self
+        # Remove non-support vars from highest index down so positions
+        # of lower kept vars stay valid during removal.
+        for var in reversed(range(self.n_inputs)):
+            if var not in kept:
+                table = table.cofactor(var, 0)
+        return table, kept
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def __invert__(self) -> "TruthTable":
+        size = 1 << (1 << self.n_inputs)
+        return TruthTable(self.n_inputs, self.bits ^ (size - 1))
+
+    def _binary(self, other: "TruthTable", op: Callable[[int, int], int]) -> "TruthTable":
+        if self.n_inputs != other.n_inputs:
+            raise ValueError("truth-table arity mismatch")
+        size = 1 << (1 << self.n_inputs)
+        return TruthTable(self.n_inputs, op(self.bits, other.bits) & (size - 1))
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        return self._binary(other, lambda a, b: a & b)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        return self._binary(other, lambda a, b: a | b)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        return self._binary(other, lambda a, b: a ^ b)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return self.n_inputs == other.n_inputs and self.bits == other.bits
+
+    def __hash__(self) -> int:
+        return hash((self.n_inputs, self.bits))
+
+    def __repr__(self) -> str:
+        width = 1 << self.n_inputs
+        return f"TruthTable({self.n_inputs}, 0b{self.bits:0{width}b})"

@@ -1,0 +1,50 @@
+"""Tabular formatting of power results (the paper's table style)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_power_table", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Plain fixed-width table (monospace, like the paper's tables)."""
+    columns = [len(str(h)) for h in headers]
+    text_rows: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                text = f"{cell:.2f}"
+            else:
+                text = str(cell)
+            cells.append(text)
+            if i < len(columns):
+                columns[i] = max(columns[i], len(text))
+        text_rows.append(cells)
+    lines = []
+    header = "  ".join(str(h).ljust(columns[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in text_rows:
+        lines.append(
+            "  ".join(cells[i].ljust(columns[i]) for i in range(len(cells)))
+        )
+    return "\n".join(lines)
+
+
+def format_power_table(
+    rows: Dict[str, Dict[str, float]], frequencies_mhz: Sequence[float]
+) -> str:
+    """Benchmarks x frequencies table of total power in mW.
+
+    ``rows`` maps benchmark name to ``{f"{freq}": total_mw}`` entries.
+    """
+    headers = ["benchmark"] + [f"{f:g} MHz (mW)" for f in frequencies_mhz]
+    body = []
+    for name, per_freq in rows.items():
+        body.append([name] + [per_freq.get(f"{f:g}", float("nan"))
+                              for f in frequencies_mhz])
+    return format_table(headers, body)

@@ -1,0 +1,265 @@
+"""The Fig. 5 mapping algorithm: FSM -> embedded memory blocks.
+
+Decision order follows the paper exactly:
+
+1. Encode each state (dense binary, reset at code 0), ``s`` bits.
+2. If ``I + s`` address lines are available in some BRAM configuration:
+   a single block when ``O + s`` also fits the data port, otherwise
+   blocks joined **in parallel** on the same address lines until the
+   combined width carries the word (Fig. 5 lines 2-9).
+3. Otherwise compute ``i``, the maximum number of non-don't-care inputs
+   any state uses; if ``i + s`` fits, apply **column compaction** with a
+   per-state input multiplexer (lines 11-14, Fig. 4).
+4. As the last resort join blocks **in series** to widen the address
+   space (lines 16-18); the paper notes this costs power, which is why
+   the multiplexer path is preferred.
+
+Two engineering options orthogonal to the core algorithm:
+
+* ``moore_outputs`` — realize a Moore machine's output function in LUTs
+  outside the memory (Fig. 3), shrinking the word to the state code.
+* ``clock_control`` — add the §6 idle-state enable logic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.arch.bram import BRAM_CONFIGS, BramConfig, select_config
+from repro.fsm.encoding import StateEncoding, binary_encoding
+from repro.fsm.machine import FSM, FsmError
+from repro.logic.lutmap import LutMapping, map_network, map_truth_tables
+from repro.logic.truthtable import TruthTable
+from repro.romfsm.clock_control import synthesize_clock_control
+from repro.romfsm.compaction import ColumnCompaction, compact_columns
+from repro.romfsm.contents import RomLayout, generate_contents
+from repro.romfsm.impl import RomFsmImplementation
+
+__all__ = ["MappingError", "map_fsm_to_rom", "synthesize_moore_outputs"]
+
+# Address-space growth through series joining doubles the block count per
+# extra bit; beyond this many blocks the mapping is rejected as the paper
+# would reject it (the FF implementation is then the right choice).
+_MAX_SERIES_BRAMS = 8
+
+_MAX_ADDR_BITS = max(c.addr_bits for c in BRAM_CONFIGS)
+_MAX_DATA_BITS = max(c.width for c in BRAM_CONFIGS)
+
+
+class MappingError(FsmError):
+    """Raised when no legal BRAM mapping exists under the given options."""
+
+
+def synthesize_moore_outputs(
+    fsm: FSM, encoding: StateEncoding, k: int = 4
+) -> LutMapping:
+    """LUT logic computing a Moore machine's outputs from the state bits.
+
+    Paper Fig. 3: "the state bits coming out of the EMBs can be used to
+    implement the output function external to an EMB."
+    """
+    if not fsm.is_moore():
+        raise MappingError(
+            "external output LUTs need a Moore machine; transform with "
+            "mealy_to_moore() first (paper cites Kohavi for this step)"
+        )
+    s = encoding.width
+    pattern_of_code: dict = {}
+    for state in fsm.states:
+        pattern = fsm.moore_output_of(state)
+        assert pattern is not None
+        pattern_of_code[encoding.encode(state)] = pattern
+    input_names = tuple(encoding.bit_names)
+    functions = {}
+    for o in range(fsm.num_outputs):
+        bits = 0
+        for code in range(1 << s):
+            pattern = pattern_of_code.get(code)
+            if pattern is not None and pattern[o] == "1":
+                bits |= 1 << code
+        functions[f"out{o}"] = (input_names, TruthTable(s, bits))
+    return map_truth_tables(functions, k=k)
+
+
+def map_fsm_to_rom(
+    fsm: FSM,
+    k: int = 4,
+    moore_outputs: str = "auto",
+    clock_control: bool = False,
+    force_compaction: bool = False,
+    max_idle_cubes: int = 8,
+) -> RomFsmImplementation:
+    """Map ``fsm`` into embedded memory blocks per the paper's algorithm.
+
+    Parameters
+    ----------
+    fsm:
+        A deterministic machine (validated); completeness is not
+        required — unspecified behaviour is programmed as hold/zero.
+    k:
+        LUT size for any auxiliary logic (mux, Moore outputs, enable).
+    moore_outputs:
+        ``"auto"`` (external only when the word cannot fit any parallel
+        combination), ``"external"`` (force Fig. 3; requires a complete
+        Moore machine) or ``"internal"``.
+    clock_control:
+        Add the §6 idle-state enable logic.
+    force_compaction:
+        Apply column compaction even when the raw inputs fit (ablation
+        hook; the paper compacts only when necessary).
+    max_idle_cubes:
+        Clock-control area budget (see
+        :func:`repro.romfsm.clock_control.synthesize_clock_control`).
+
+    Returns
+    -------
+    RomFsmImplementation
+    """
+    if moore_outputs not in ("auto", "external", "internal"):
+        raise ValueError(f"bad moore_outputs option {moore_outputs!r}")
+    fsm.validate()
+    encoding = binary_encoding(fsm, reset_code=0)
+    s = encoding.width
+    num_inputs = fsm.num_inputs
+    num_outputs = fsm.num_outputs
+
+    use_external = moore_outputs == "external"
+    if use_external and not fsm.is_moore():
+        raise MappingError("moore_outputs='external' requires a Moore machine")
+    if use_external and not fsm.is_complete():
+        raise MappingError(
+            "external Moore outputs require a complete machine: on "
+            "unspecified inputs the hold convention outputs 0, which a "
+            "state-driven output LUT cannot reproduce"
+        )
+
+    def data_bits(external: bool) -> int:
+        return s if external else s + num_outputs
+
+    candidate_compaction = compact_columns(fsm)
+
+    # Moore auto-externalization (the prep4 case, Fig. 3): move the
+    # output function into LUTs when that lets fewer memory blocks carry
+    # the machine -- either because the full word exceeds every data
+    # port, or because the narrower state-only word avoids a parallel
+    # lane ("instantiating more EMB increases the power consumption").
+    if (
+        moore_outputs == "auto"
+        and not use_external
+        and fsm.is_moore()
+        and fsm.is_complete()
+    ):
+        best_addr = s + min(num_inputs, candidate_compaction.width)
+        lane_width = max(
+            (c.width for c in BRAM_CONFIGS
+             if c.addr_bits >= min(best_addr, _MAX_ADDR_BITS)),
+            default=_MAX_DATA_BITS,
+        )
+        internal_lanes = -(-data_bits(False) // lane_width)
+        external_lanes = -(-data_bits(True) // lane_width)
+        # Externalize when it saves a whole lane, or when the output
+        # field would dwarf the state field (wide-output controllers
+        # like prep4: a narrow state-only word exercises far fewer bit
+        # lines, and the state->output decode is cheap in LUTs).
+        if external_lanes < internal_lanes or num_outputs > s:
+            use_external = True
+
+    width_needed = data_bits(use_external)
+
+    def plan(addr_bits: int):
+        """(config, parallel, series) lanes for an address/width demand."""
+        if addr_bits > _MAX_ADDR_BITS:
+            # Fig. 5 lines 16-18: series joining grows the address space.
+            series = 1 << (addr_bits - _MAX_ADDR_BITS)
+            lane_addr = _MAX_ADDR_BITS
+        else:
+            series = 1
+            lane_addr = addr_bits
+        config = select_config(lane_addr, min(width_needed, _MAX_DATA_BITS))
+        if config is None:
+            # No single aspect ratio offers both; take the widest one
+            # with enough address lines and join lanes in parallel.
+            candidates = [c for c in BRAM_CONFIGS if c.addr_bits >= lane_addr]
+            if not candidates:
+                return None
+            config = max(candidates, key=lambda c: c.width)
+        parallel = -(-width_needed // config.width)  # ceil division
+        return config, parallel, series
+
+    # --- Fig. 5: plan without compaction, then with (lines 11-14); the
+    # compacted plan wins when it needs fewer blocks, because "a
+    # multiplexer can be used to implement an FSM with fewer EMB ...
+    # advantageous for power savings, as instantiating more EMB
+    # increases the power consumption".
+    compaction: Optional[ColumnCompaction] = None
+    input_bits = num_inputs
+    raw_plan = plan(num_inputs + s)
+    chosen = raw_plan
+    if candidate_compaction.saves_bits or force_compaction:
+        compact_plan = plan(candidate_compaction.width + s)
+        take_compacted = force_compaction
+        if compact_plan is not None and raw_plan is not None and not take_compacted:
+            fewer_brams = (
+                compact_plan[1] * compact_plan[2] < raw_plan[1] * raw_plan[2]
+            )
+            # Power policy: even at equal block count, compacting away
+            # two or more address bits quarters the exercised word lines
+            # ("Power consumed by the blockram is dependent upon the
+            # number of word-lines used"), which outweighs the small
+            # input multiplexer.
+            many_fewer_lines = (
+                num_inputs - candidate_compaction.width >= 2
+            )
+            take_compacted = fewer_brams or many_fewer_lines
+        if raw_plan is None:
+            take_compacted = compact_plan is not None
+        if take_compacted and compact_plan is not None:
+            compaction = candidate_compaction
+            input_bits = compaction.width
+            chosen = compact_plan
+    if chosen is None:
+        raise MappingError(
+            f"{fsm.name}: no BRAM configuration offers "
+            f"{input_bits + s} address lines even after compaction"
+        )
+    config, parallel, series = chosen
+    if series > _MAX_SERIES_BRAMS:
+        raise MappingError(
+            f"{fsm.name}: {input_bits + s} address bits need {series} "
+            f"blocks in series (> {_MAX_SERIES_BRAMS}); FSM too wide for "
+            f"the ROM approach"
+        )
+
+    layout = RomLayout(
+        input_bits=input_bits,
+        state_bits=s,
+        output_bits=0 if use_external else num_outputs,
+    )
+    contents = generate_contents(fsm, encoding, layout, compaction)
+
+    mux_mapping = (
+        compaction.build_mux_network(encoding, k=k) if compaction is not None
+        else None
+    )
+    moore_mapping = (
+        synthesize_moore_outputs(fsm, encoding, k=k) if use_external else None
+    )
+
+    impl = RomFsmImplementation(
+        fsm=fsm,
+        encoding=encoding,
+        layout=layout,
+        config=config,
+        contents=contents,
+        parallel_brams=parallel,
+        series_brams=series,
+        compaction=compaction,
+        mux_mapping=mux_mapping,
+        moore_output_mapping=moore_mapping,
+    )
+    if clock_control:
+        impl.clock_control = synthesize_clock_control(
+            fsm, encoding, outputs_in_rom=not use_external, k=k,
+            max_idle_cubes=max_idle_cubes,
+        )
+    return impl

@@ -1,0 +1,341 @@
+"""BLIF emission and parsing for the FF-baseline netlist.
+
+The paper's experimental flow (Fig. 6) passes through Berkeley's BLIF
+interchange format twice: SIS writes the synthesized FSM as ``.blif``
+("This netlist contains the combinatorial portion of the FSMs and FFs
+to store the states"), and a "blif to VHDL translator" turns it into
+structural VHDL for Synplify.  This module implements both directions:
+
+* :func:`write_blif` — serialize a mapped :class:`FfImplementation`
+  into BLIF: one ``.names`` table per LUT (ON-set cubes, minimized) and
+  one ``.latch`` per state flip-flop with its reset value;
+* :func:`parse_blif` — read such a file back into a
+  :class:`BlifModel`, an executable netlist used for round-trip
+  equivalence checking (and for importing externally synthesized FSM
+  logic into the power flow);
+* :func:`ff_implementation_vhdl` — the Fig. 6 translator: structural
+  VHDL for the FF baseline, mirroring :func:`repro.romfsm.vhdl.rom_fsm_vhdl`
+  on the conventional side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.cube import Cover, Cube
+from repro.logic.minimize import espresso
+from repro.logic.truthtable import TruthTable
+from repro.synth.ff_synth import FfImplementation
+
+__all__ = ["BlifModel", "write_blif", "parse_blif", "ff_implementation_vhdl"]
+
+
+@dataclass
+class BlifTable:
+    """One ``.names`` table: an ON-set cover driving ``output``."""
+
+    inputs: Tuple[str, ...]
+    output: str
+    cubes: List[str]  # pattern strings over the inputs, ON-set rows
+
+    def evaluate(self, values: Dict[str, int]) -> int:
+        assignment = 0
+        for i, name in enumerate(self.inputs):
+            assignment |= (values[name] & 1) << i
+        for pattern in self.cubes:
+            if Cube.from_string(pattern).contains_minterm(assignment):
+                return 1
+        return 0
+
+
+@dataclass
+class BlifLatch:
+    """One ``.latch`` line: ``input`` sampled into ``output`` each clock."""
+
+    input: str
+    output: str
+    init: int = 0
+
+
+@dataclass
+class BlifModel:
+    """An executable BLIF netlist (combinational tables + latches)."""
+
+    name: str
+    inputs: List[str]
+    outputs: List[str]
+    tables: List[BlifTable] = field(default_factory=list)
+    latches: List[BlifLatch] = field(default_factory=list)
+    constants: Dict[str, int] = field(default_factory=dict)
+
+    def _evaluate_combinational(self, values: Dict[str, int]) -> Dict[str, int]:
+        values = dict(values)
+        values.setdefault("GND", 0)
+        values.setdefault("VCC", 1)
+        values.update(self.constants)
+        remaining = list(self.tables)
+        # Tables are emitted topologically, but tolerate any order.
+        progress = True
+        while remaining and progress:
+            progress = False
+            for table in list(remaining):
+                if all(name in values for name in table.inputs):
+                    values[table.output] = table.evaluate(values)
+                    remaining.remove(table)
+                    progress = True
+        if remaining:
+            missing = {n for t in remaining for n in t.inputs
+                       if n not in values}
+            raise ValueError(f"undriven nets in BLIF model: {sorted(missing)}")
+        return values
+
+    def step(self, state: Dict[str, int], input_values: Dict[str, int]
+             ) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """One clock cycle: returns (next latch state, output values)."""
+        values = dict(input_values)
+        for latch in self.latches:
+            values[latch.output] = state.get(latch.output, latch.init)
+        values = self._evaluate_combinational(values)
+        next_state = {
+            latch.output: values[latch.input] for latch in self.latches
+        }
+        outputs = {name: values[name] for name in self.outputs}
+        return next_state, outputs
+
+    def run(self, stimulus: Sequence[Dict[str, int]]) -> List[Dict[str, int]]:
+        """Clock through ``stimulus`` from the latch reset values."""
+        state = {latch.output: latch.init for latch in self.latches}
+        collected = []
+        for input_values in stimulus:
+            state, outputs = self.step(state, input_values)
+            collected.append(outputs)
+        return collected
+
+
+def _table_cubes(table: TruthTable) -> List[str]:
+    """Minimized ON-set pattern rows for a LUT truth table."""
+    if table.bits == 0:
+        return []
+    on = Cover(
+        table.n_inputs,
+        [Cube.from_minterm(table.n_inputs, m)
+         for m in range(1 << table.n_inputs) if table.evaluate(m)],
+    )
+    return [str(cube) for cube in espresso(on)]
+
+
+def write_blif(impl: FfImplementation, model_name: Optional[str] = None) -> str:
+    """Serialize the FF implementation as a BLIF netlist.
+
+    State flip-flops become ``.latch`` lines with reset value taken from
+    the reset state's code; each LUT becomes a ``.names`` single-output
+    cover.
+    """
+    fsm = impl.fsm
+    encoding = impl.encoding
+    lines: List[str] = []
+    emit = lines.append
+    emit(f".model {model_name or fsm.name}")
+    emit(".inputs " + " ".join(f"in{i}" for i in range(fsm.num_inputs)))
+    emit(".outputs " + " ".join(f"out{o}" for o in range(fsm.num_outputs)))
+
+    reset_code = encoding.encode(fsm.reset_state)
+    for bit in range(encoding.width):
+        source = impl.mapping.outputs[f"ns{bit}"]
+        init = (reset_code >> bit) & 1
+        emit(f".latch {source} {encoding.bit_name(bit)} re clk {init}")
+
+    for lut in impl.mapping.luts:
+        emit(".names " + " ".join(lut.input_nets) + f" {lut.name}")
+        for pattern in _table_cubes(lut.table):
+            emit(f"{pattern} 1")
+
+    # Primary outputs that are aliases of other nets need buffer tables.
+    for o in range(fsm.num_outputs):
+        source = impl.mapping.outputs[f"out{o}"]
+        if source == f"out{o}":
+            continue
+        if source == "GND":
+            emit(f".names out{o}")  # empty cover = constant 0
+        elif source == "VCC":
+            emit(f".names out{o}")
+            emit("1")  # constant 1
+        else:
+            emit(f".names {source} out{o}")
+            emit("1 1")
+    emit(".end")
+    return "\n".join(lines) + "\n"
+
+
+def parse_blif(text: str) -> BlifModel:
+    """Parse a (single-model, single-clock) BLIF file."""
+    model: Optional[BlifModel] = None
+    pending_table: Optional[BlifTable] = None
+    pending_const: Optional[str] = None
+
+    def flush_table() -> None:
+        nonlocal pending_table, pending_const
+        if pending_table is not None:
+            model.tables.append(pending_table)
+            pending_table = None
+        if pending_const is not None:
+            model.constants.setdefault(pending_const, 0)
+            pending_const = None
+
+    # Join continuation lines ending in a backslash.
+    raw_lines: List[str] = []
+    buffer = ""
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            buffer += line[:-1] + " "
+            continue
+        raw_lines.append(buffer + line)
+        buffer = ""
+    if buffer:
+        raw_lines.append(buffer)
+
+    for line in raw_lines:
+        token = line.strip()
+        if not token:
+            continue
+        if token.startswith(".model"):
+            parts = token.split()
+            model = BlifModel(
+                name=parts[1] if len(parts) > 1 else "model",
+                inputs=[], outputs=[],
+            )
+        elif token.startswith(".inputs"):
+            if model is None:
+                raise ValueError(".inputs before .model")
+            model.inputs.extend(token.split()[1:])
+        elif token.startswith(".outputs"):
+            model.outputs.extend(token.split()[1:])
+        elif token.startswith(".latch"):
+            flush_table()
+            parts = token.split()
+            # .latch <in> <out> [type ctrl] [init]
+            init = 0
+            if parts[-1] in ("0", "1", "2", "3"):
+                init = int(parts[-1]) & 1
+            model.latches.append(
+                BlifLatch(input=parts[1], output=parts[2], init=init)
+            )
+        elif token.startswith(".names"):
+            flush_table()
+            signals = token.split()[1:]
+            if not signals:
+                raise ValueError(".names needs at least an output signal")
+            if len(signals) == 1:
+                pending_const = signals[0]
+            else:
+                pending_table = BlifTable(
+                    inputs=tuple(signals[:-1]), output=signals[-1], cubes=[]
+                )
+        elif token.startswith(".end"):
+            flush_table()
+        elif token.startswith("."):
+            continue  # tolerate .clock, .default_input_arrival, etc.
+        else:
+            # A cover row.
+            if pending_const is not None:
+                if token == "1":
+                    model.constants[pending_const] = 1
+                    pending_const = None
+                else:
+                    raise ValueError(f"bad constant row {token!r}")
+                continue
+            if pending_table is None:
+                raise ValueError(f"cover row outside .names: {token!r}")
+            fields = token.split()
+            if len(fields) != 2 or fields[1] != "1":
+                raise ValueError(
+                    f"only ON-set single-output covers supported: {token!r}"
+                )
+            if len(fields[0]) != len(pending_table.inputs):
+                raise ValueError(f"row width mismatch: {token!r}")
+            pending_table.cubes.append(fields[0])
+    if model is None:
+        raise ValueError("no .model in BLIF text")
+    flush_table()
+    return model
+
+
+def ff_implementation_vhdl(
+    impl: FfImplementation, entity_name: Optional[str] = None
+) -> str:
+    """Structural VHDL for the FF baseline (the Fig. 6 translator).
+
+    LUTs become concurrent selected-signal assignments over their input
+    vector (the idiom synthesis tools map straight back onto K-LUTs);
+    the state register is one clocked process with synchronous reset to
+    the encoded reset state.
+    """
+    fsm = impl.fsm
+    encoding = impl.encoding
+    name = entity_name or f"{fsm.name}_ff"
+    lines: List[str] = []
+    emit = lines.append
+    emit("-- Generated by repro.synth.blif (FF/LUT baseline)")
+    emit(f"-- {fsm.name}: {impl.num_luts} LUTs, {impl.num_ffs} FFs, "
+         f"encoding {encoding.style}")
+    emit("library ieee;")
+    emit("use ieee.std_logic_1164.all;")
+    emit("")
+    emit(f"entity {name} is")
+    emit("  port (")
+    emit("    clk   : in  std_logic;")
+    emit("    reset : in  std_logic;")
+    emit(f"    din   : in  std_logic_vector({max(fsm.num_inputs - 1, 0)} "
+         f"downto 0);")
+    emit(f"    dout  : out std_logic_vector({max(fsm.num_outputs - 1, 0)} "
+         f"downto 0)")
+    emit("  );")
+    emit(f"end entity {name};")
+    emit("")
+    emit(f"architecture rtl of {name} is")
+    reset_code = encoding.encode(fsm.reset_state)
+    reset_bits = "".join(
+        str((reset_code >> b) & 1)
+        for b in reversed(range(encoding.width))
+    )
+    emit(f"  signal state : std_logic_vector({encoding.width - 1} downto 0)")
+    emit(f'                 := "{reset_bits}";')
+    for lut in impl.mapping.luts:
+        emit(f"  signal {lut.name} : std_logic;")
+    emit("begin")
+    rename = {f"in{i}": f"din({i})" for i in range(fsm.num_inputs)}
+    rename.update({
+        encoding.bit_name(b): f"state({b})" for b in range(encoding.width)
+    })
+    rename.update({"GND": "'0'", "VCC": "'1'"})
+    for lut in impl.mapping.luts:
+        vector = " & ".join(
+            rename.get(src, src) for src in reversed(lut.input_nets)
+        )
+        emit(f"  -- LUT {lut.name} (level {lut.level})")
+        emit(f"  with ({vector}) select {lut.name} <=")
+        ones = [m for m in range(1 << lut.table.n_inputs)
+                if lut.table.evaluate(m)]
+        for m in ones:
+            pattern = format(m, f"0{lut.table.n_inputs}b")
+            emit(f'    \'1\' when "{pattern}",')
+        emit("    '0' when others;")
+    emit("  state_reg: process(clk)")
+    emit("  begin")
+    emit("    if rising_edge(clk) then")
+    emit("      if reset = '1' then")
+    emit(f'        state <= "{reset_bits}";')
+    emit("      else")
+    for bit in range(encoding.width):
+        src = impl.mapping.outputs[f"ns{bit}"]
+        emit(f"        state({bit}) <= {rename.get(src, src)};")
+    emit("      end if;")
+    emit("    end if;")
+    emit("  end process;")
+    for o in range(fsm.num_outputs):
+        src = impl.mapping.outputs[f"out{o}"]
+        emit(f"  dout({o}) <= {rename.get(src, src)};")
+    emit("end architecture rtl;")
+    return "\n".join(lines) + "\n"

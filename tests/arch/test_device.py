@@ -1,0 +1,70 @@
+"""Unit tests for the device resource model."""
+
+import pytest
+
+from repro.arch.device import (
+    VIRTEX2_DEVICES,
+    Device,
+    Utilization,
+    get_device,
+)
+
+
+class TestDeviceTable:
+    def test_paper_target_device(self):
+        dev = get_device("XC2V250")
+        assert dev.slices == 1536
+        assert dev.brams == 24
+
+    def test_family_endpoints(self):
+        assert get_device("XC2V40").brams == 4
+        assert get_device("XC2V8000").brams == 168
+
+    def test_lookup_case_insensitive(self):
+        assert get_device("xc2v250") is get_device("XC2V250")
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("XC9999")
+
+    def test_default_is_paper_device(self):
+        assert get_device().name == "XC2V250"
+
+    def test_luts_and_ffs_derive_from_slices(self):
+        dev = get_device("XC2V40")
+        assert dev.luts == 512
+        assert dev.ffs == 512
+
+    def test_family_is_monotone_in_slices(self):
+        sizes = [d.slices for d in VIRTEX2_DEVICES.values()]
+        assert sizes == sorted(sizes)
+
+
+class TestUtilization:
+    def test_slice_packing_rule(self):
+        assert Utilization(luts=4, ffs=2).slices == 2
+        assert Utilization(luts=3, ffs=0).slices == 2
+        assert Utilization(luts=0, ffs=5).slices == 3
+
+    def test_ff_bound_dominates(self):
+        assert Utilization(luts=2, ffs=8).slices == 4
+
+    def test_zero_utilization(self):
+        assert Utilization().slices == 0
+
+    def test_addition(self):
+        total = Utilization(luts=3, brams=1) + Utilization(luts=2, ffs=4)
+        assert total.luts == 5
+        assert total.ffs == 4
+        assert total.brams == 1
+
+    def test_fits(self):
+        dev = get_device("XC2V40")
+        assert dev.fits(Utilization(luts=100, ffs=100, brams=4))
+        assert not dev.fits(Utilization(brams=5))
+        assert not dev.fits(Utilization(luts=10_000))
+
+    def test_slice_utilization_fraction(self):
+        dev = get_device("XC2V40")
+        util = Utilization(luts=256)  # 128 slices of 256
+        assert dev.slice_utilization(util) == pytest.approx(0.5)

@@ -1,0 +1,52 @@
+"""Unit tests for the interconnect capacitance/delay model."""
+
+import pytest
+
+from repro.arch.interconnect import InterconnectModel
+
+
+@pytest.fixture
+def model():
+    return InterconnectModel()
+
+
+class TestCapacitance:
+    def test_zero_fanout_costs_nothing(self, model):
+        assert model.net_capacitance_pf(0) == 0.0
+
+    def test_single_fanout_is_base(self, model):
+        assert model.net_capacitance_pf(1) == pytest.approx(
+            model.base_capacitance_pf
+        )
+
+    def test_monotone_in_fanout(self, model):
+        caps = [model.net_capacitance_pf(f) for f in range(1, 10)]
+        assert caps == sorted(caps)
+        assert caps[-1] > caps[0]
+
+    def test_congestion_inflates(self, model):
+        idle = model.net_capacitance_pf(3, utilization=0.0)
+        busy = model.net_capacitance_pf(3, utilization=0.8)
+        assert busy > idle
+        expected = 1.0 + model.congestion_alpha * 0.8
+        assert busy / idle == pytest.approx(expected)
+
+    def test_utilization_clamped(self, model):
+        over = model.net_capacitance_pf(2, utilization=2.0)
+        full = model.net_capacitance_pf(2, utilization=1.0)
+        assert over == pytest.approx(full)
+        under = model.net_capacitance_pf(2, utilization=-1.0)
+        zero = model.net_capacitance_pf(2, utilization=0.0)
+        assert under == pytest.approx(zero)
+
+
+class TestDelay:
+    def test_zero_fanout_costs_nothing(self, model):
+        assert model.net_delay_ns(0) == 0.0
+
+    def test_monotone_in_fanout(self, model):
+        delays = [model.net_delay_ns(f) for f in range(1, 8)]
+        assert delays == sorted(delays)
+
+    def test_congestion_inflates_delay(self, model):
+        assert model.net_delay_ns(2, 0.9) > model.net_delay_ns(2, 0.0)

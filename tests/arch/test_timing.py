@@ -1,0 +1,82 @@
+"""Unit tests for the timing model (the paper's fixed-timing claim)."""
+
+import pytest
+
+from repro.arch.timing import TimingModel, TimingReport
+
+
+@pytest.fixture
+def model():
+    return TimingModel()
+
+
+class TestFfTiming:
+    def test_deeper_logic_is_slower(self, model):
+        shallow = model.ff_implementation(lut_depth=2)
+        deep = model.ff_implementation(lut_depth=6)
+        assert deep.critical_path_ns > shallow.critical_path_ns
+        assert deep.fmax_mhz < shallow.fmax_mhz
+
+    def test_congestion_slows_ff_design(self, model):
+        idle = model.ff_implementation(3, utilization=0.0)
+        busy = model.ff_implementation(3, utilization=0.9)
+        assert busy.critical_path_ns > idle.critical_path_ns
+
+    def test_zero_depth_is_register_to_register(self, model):
+        report = model.ff_implementation(0)
+        assert report.critical_path_ns == pytest.approx(
+            model.ff_clk_to_q_ns + model.ff_setup_ns
+        )
+
+
+class TestRomTiming:
+    def test_fixed_regardless_of_fsm_complexity(self, model):
+        """Paper §4.2: timing does not change with transition count."""
+        a = model.rom_implementation()
+        b = model.rom_implementation()
+        assert a.critical_path_ns == b.critical_path_ns
+
+    def test_mux_levels_add_delay(self, model):
+        plain = model.rom_implementation(mux_levels=0)
+        muxed = model.rom_implementation(mux_levels=2)
+        assert muxed.critical_path_ns > plain.critical_path_ns
+
+    def test_series_blocks_add_cascade_hop(self, model):
+        single = model.rom_implementation(series_brams=1)
+        double = model.rom_implementation(series_brams=2)
+        assert double.critical_path_ns > single.critical_path_ns
+
+    def test_rom_beats_deep_ff_design(self, model):
+        """A complex FSM maps to deep LUT logic; the ROM path is flat."""
+        ff = model.ff_implementation(lut_depth=7, utilization=0.3)
+        rom = model.rom_implementation()
+        assert rom.fmax_mhz > ff.fmax_mhz
+
+
+class TestClockControlTiming:
+    def test_control_depth_lengthens_period(self, model):
+        base = model.rom_implementation()
+        slowed = model.rom_with_clock_control(base, control_depth=3)
+        assert slowed.critical_path_ns >= base.critical_path_ns
+
+    def test_shallow_control_may_be_free(self, model):
+        base = model.rom_implementation(mux_levels=3)
+        controlled = model.rom_with_clock_control(base, control_depth=0)
+        assert controlled.critical_path_ns == pytest.approx(
+            base.critical_path_ns
+        )
+
+
+class TestTimingReport:
+    def test_fmax_conversion(self):
+        report = TimingReport(critical_path_ns=10.0, description="x")
+        assert report.fmax_mhz == pytest.approx(100.0)
+
+    def test_supports_mhz(self):
+        report = TimingReport(critical_path_ns=10.0, description="x")
+        assert report.supports_mhz(99.0)
+        assert report.supports_mhz(100.0)
+        assert not report.supports_mhz(101.0)
+
+    def test_zero_path_is_unbounded(self):
+        assert TimingReport(0.0, "x").fmax_mhz == float("inf")

@@ -1,0 +1,127 @@
+"""Unit tests for the seeded FSM generator."""
+
+import pytest
+
+from repro.bench.generator import GeneratorSpec, generate_fsm
+from repro.fsm.simulate import FsmSimulator, random_stimulus
+from repro.fsm.stats import compute_stats
+from repro.fsm.transform import reachable_states
+
+
+def spec(**overrides):
+    base = dict(
+        name="gen",
+        num_states=8,
+        num_inputs=4,
+        num_outputs=3,
+        care_inputs=(1, 3),
+        seed=42,
+    )
+    base.update(overrides)
+    return GeneratorSpec(**base)
+
+
+class TestStructure:
+    def test_deterministic_given_seed(self):
+        a = generate_fsm(spec())
+        b = generate_fsm(spec())
+        assert len(a.transitions) == len(b.transitions)
+        for ta, tb in zip(a.transitions, b.transitions):
+            assert (ta.src, ta.dst, str(ta.inputs), ta.outputs) == \
+                (tb.src, tb.dst, str(tb.inputs), tb.outputs)
+
+    def test_different_seeds_differ(self):
+        a = generate_fsm(spec(seed=1))
+        b = generate_fsm(spec(seed=2))
+        edges_a = [(t.src, t.dst, str(t.inputs)) for t in a.transitions]
+        edges_b = [(t.src, t.dst, str(t.inputs)) for t in b.transitions]
+        assert edges_a != edges_b
+
+    def test_interface_matches_spec(self):
+        fsm = generate_fsm(spec(num_states=12, num_inputs=5, num_outputs=7))
+        assert fsm.num_states == 12
+        assert fsm.num_inputs == 5
+        assert fsm.num_outputs == 7
+
+    def test_always_deterministic_and_complete(self):
+        for seed in range(5):
+            fsm = generate_fsm(spec(seed=seed))
+            assert fsm.is_deterministic()
+            assert fsm.is_complete()
+
+    def test_all_states_reachable(self):
+        for seed in range(5):
+            fsm = generate_fsm(spec(seed=seed, num_states=15))
+            assert reachable_states(fsm) == set(fsm.states)
+
+    def test_no_absorbing_states(self):
+        """Every state must have an exit edge (the wrap-around chain)."""
+        fsm = generate_fsm(spec(num_states=10, self_loop_bias=0.9))
+        for state in fsm.states:
+            assert any(t.dst != state for t in fsm.transitions_from(state))
+
+    def test_care_columns_respected(self):
+        fsm = generate_fsm(spec(care_inputs=(2, 2)))
+        stats = compute_stats(fsm)
+        assert stats.max_state_inputs <= 2
+
+    def test_moore_flag(self):
+        assert generate_fsm(spec(moore=True)).is_moore()
+
+    def test_successor_pool_limits_fanout(self):
+        fsm = generate_fsm(spec(num_states=16, successors=(2, 2)))
+        for state in fsm.states:
+            targets = {t.dst for t in fsm.transitions_from(state)}
+            targets.discard(state)
+            assert len(targets) <= 2
+
+    def test_single_state_machine(self):
+        fsm = generate_fsm(spec(num_states=1, self_loop_bias=1.0))
+        assert fsm.num_states == 1
+        assert fsm.is_complete()
+
+    def test_zero_care_inputs(self):
+        fsm = generate_fsm(spec(care_inputs=(0, 0)))
+        assert fsm.is_complete()
+        # Each state has exactly one (full don't-care) outgoing cube.
+        for state in fsm.states:
+            assert len(fsm.transitions_from(state)) == 1
+
+
+class TestKnobs:
+    def test_self_loop_bias_raises_idleness(self):
+        lazy = generate_fsm(spec(seed=7, self_loop_bias=0.7))
+        busy = generate_fsm(spec(seed=7, self_loop_bias=0.0))
+        stim = random_stimulus(4, 800, seed=1)
+        lazy_idle = FsmSimulator(lazy).run(stim).idle_fraction()
+        busy_idle = FsmSimulator(busy).run(stim).idle_fraction()
+        assert lazy_idle > busy_idle
+
+    def test_branch_probability_raises_edge_count(self):
+        fine = generate_fsm(spec(branch_probability=0.9, seed=3))
+        coarse = generate_fsm(spec(branch_probability=0.1, seed=3))
+        assert len(fine.transitions) > len(coarse.transitions)
+
+    def test_column_locality_narrows_column_spread(self):
+        wide = generate_fsm(spec(num_inputs=8, care_inputs=(2, 2),
+                                 column_locality=0.0, seed=11))
+        tight = generate_fsm(spec(num_inputs=8, care_inputs=(2, 2),
+                                  column_locality=1.0, seed=11))
+
+        def spread(fsm):
+            used = 0
+            for t in fsm.transitions:
+                used |= t.inputs.care_mask()
+            return bin(used).count("1")
+
+        assert spread(tight) <= spread(wide)
+
+    def test_bad_care_range_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec("x", 4, 2, 1, care_inputs=(3, 2))
+        with pytest.raises(ValueError):
+            GeneratorSpec("x", 4, 2, 1, care_inputs=(0, 5))
+
+    def test_zero_states_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec("x", 0, 2, 1, care_inputs=(0, 1))

@@ -1,0 +1,98 @@
+"""Unit tests for the regenerated MCNC/PREP benchmark suite."""
+
+import pytest
+
+from repro.bench.suite import (
+    BENCHMARK_SPECS,
+    PAPER_BENCHMARKS,
+    benchmark_stats,
+    load_benchmark,
+)
+
+# Published interface statistics of the MCNC LGSynth91 FSM benchmarks
+# (+ PREP4), which the regenerated suite must match exactly.
+PUBLISHED = {
+    "prep4":   (16, 8, 8),
+    "dk14":    (7, 3, 5),
+    "tbk":     (32, 6, 3),
+    "keyb":    (19, 7, 2),
+    "donfile": (24, 2, 1),
+    "sand":    (32, 11, 9),
+    "styr":    (30, 9, 10),
+    "ex1":     (20, 9, 19),
+    "planet":  (48, 7, 19),
+}
+
+
+class TestSuite:
+    def test_paper_row_order(self):
+        assert PAPER_BENCHMARKS == [
+            "prep4", "dk14", "tbk", "keyb", "donfile",
+            "sand", "styr", "ex1", "planet",
+        ]
+
+    def test_every_paper_benchmark_has_a_spec(self):
+        assert set(PAPER_BENCHMARKS) <= set(BENCHMARK_SPECS)
+
+    @pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+    def test_interface_statistics_match_published(self, name):
+        states, inputs, outputs = PUBLISHED[name]
+        st = benchmark_stats(name)
+        assert st.num_states == states
+        assert st.num_inputs == inputs
+        assert st.num_outputs == outputs
+
+    @pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+    def test_benchmarks_are_deterministic_and_complete(self, name):
+        fsm = load_benchmark(name)
+        assert fsm.is_deterministic()
+        assert fsm.is_complete()
+
+    def test_moore_benchmarks(self):
+        for name in ("prep4", "ex1", "planet"):
+            assert load_benchmark(name).is_moore(), name
+        for name in ("dk14", "tbk", "keyb"):
+            assert not load_benchmark(name).is_moore(), name
+
+    def test_dont_care_rich_circuits_compact_well(self):
+        """sand/styr must exercise the paper's column-compaction path."""
+        for name in ("sand", "styr"):
+            st = benchmark_stats(name)
+            assert st.max_state_inputs < st.num_inputs, name
+            assert st.dont_care_density > 0.5, name
+
+    def test_dense_circuits_stay_dense(self):
+        for name in ("dk14", "donfile"):
+            assert benchmark_stats(name).dont_care_density < 0.2, name
+
+    def test_loading_is_cached(self):
+        assert load_benchmark("dk14") is load_benchmark("dk14")
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            load_benchmark("does-not-exist")
+
+    def test_self_loops_exist_for_idle_experiments(self):
+        """Table 3 needs idle opportunities in every circuit."""
+        for name in PAPER_BENCHMARKS:
+            fsm = load_benchmark(name)
+            self_loops = sum(1 for t in fsm.transitions if t.src == t.dst)
+            assert self_loops > 0, name
+
+
+class TestCheckedInKissFiles:
+    """data/benchmarks/*.kiss2 are the canonical dumps of the suite."""
+
+    def test_files_match_generator(self):
+        from pathlib import Path
+
+        from repro.fsm.kiss import format_kiss, load_kiss_file
+
+        root = Path(__file__).resolve().parents[2] / "data" / "benchmarks"
+        if not root.exists():
+            pytest.skip("canonical dumps not present in this checkout")
+        for name in PAPER_BENCHMARKS:
+            path = root / f"{name}.kiss2"
+            assert path.exists(), name
+            on_disk = load_kiss_file(path)
+            assert format_kiss(on_disk) == format_kiss(load_benchmark(name))

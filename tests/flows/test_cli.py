@@ -1,0 +1,117 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.flows.cli import build_parser, main
+
+DETECTOR = """
+.i 1
+.o 1
+.r A
+0 A B 0
+1 A A 0
+0 B B 0
+1 B C 0
+0 C D 0
+1 C A 0
+0 D B 0
+1 D C 1
+"""
+
+
+@pytest.fixture
+def kiss_file(tmp_path):
+    path = tmp_path / "det.kiss2"
+    path.write_text(DETECTOR)
+    return str(path)
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["tables", "--cycles", "10"])
+        assert args.cycles == 10
+
+    def test_map_options(self):
+        args = build_parser().parse_args(
+            ["map", "f.kiss2", "--clock-control", "--vhdl", "out.vhd"]
+        )
+        assert args.clock_control
+        assert args.vhdl == "out.vhd"
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_bench_stats(self, capsys):
+        assert main(["bench-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "planet" in out
+        assert "dc-density" in out
+
+    def test_map_reports_resources(self, kiss_file, capsys):
+        assert main(["map", kiss_file]) == 0
+        out = capsys.readouterr().out
+        assert "BRAM config" in out
+        assert "512x36" in out
+
+    def test_map_writes_vhdl(self, kiss_file, tmp_path, capsys):
+        target = str(tmp_path / "out.vhd")
+        assert main(["map", kiss_file, "--vhdl", target]) == 0
+        text = (tmp_path / "out.vhd").read_text()
+        assert "entity det_romfsm is" in text
+
+    def test_map_with_clock_control(self, kiss_file, capsys):
+        assert main(["map", kiss_file, "--clock-control"]) == 0
+        assert "clock control" in capsys.readouterr().out
+
+    def test_eval_prints_power_table(self, kiss_file, capsys):
+        assert main([
+            "eval", kiss_file, "--cycles", "150", "--freq", "50", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "FF (mW)" in out
+        assert "saving @ 100 MHz" in out
+        assert "fmax" in out
+
+    def test_blif_to_stdout(self, kiss_file, capsys):
+        assert main(["blif", kiss_file]) == 0
+        out = capsys.readouterr().out
+        assert ".model det" in out
+        assert ".latch" in out
+
+    def test_blif_to_files(self, kiss_file, tmp_path, capsys):
+        blif = str(tmp_path / "det.blif")
+        vhdl = str(tmp_path / "det.vhd")
+        assert main(["blif", kiss_file, "--out", blif, "--vhdl", vhdl]) == 0
+        assert ".model det" in (tmp_path / "det.blif").read_text()
+        assert "entity det_ff is" in (tmp_path / "det.vhd").read_text()
+
+    def test_map_structural_vhdl(self, kiss_file, tmp_path, capsys):
+        target = str(tmp_path / "out.vhd")
+        assert main([
+            "map", kiss_file, "--vhdl", target, "--structural",
+        ]) == 0
+        text = (tmp_path / "out.vhd").read_text()
+        assert "RAMB16_S36" in text
+        assert "structural RAMB16" in capsys.readouterr().out
+
+    def test_dump_bench_writes_kiss_files(self, tmp_path, capsys):
+        from repro.fsm.kiss import load_kiss_file
+
+        assert main(["dump-bench", str(tmp_path / "suite")]) == 0
+        dk14 = load_kiss_file(tmp_path / "suite" / "dk14.kiss2")
+        assert dk14.num_states == 7
+        planet = load_kiss_file(tmp_path / "suite" / "planet.kiss2")
+        assert planet.num_states == 48
+
+    def test_tables_written_to_directory(self, tmp_path, capsys):
+        target = str(tmp_path / "tables")
+        assert main([
+            "tables", "--cycles", "60", "--seed", "1", "--out", target,
+        ]) == 0
+        for index in range(1, 5):
+            text = (tmp_path / "tables" / f"table{index}.txt").read_text()
+            assert f"Table {index}" in text

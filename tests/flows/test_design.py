@@ -1,0 +1,101 @@
+"""Integration tests for design-level FSM-to-memory allocation."""
+
+import pytest
+
+from repro.arch.device import get_device
+from repro.bench.suite import load_benchmark
+from repro.flows.design import FsmDesign
+from repro.fsm.machine import FSM
+from repro.romfsm.mapper import MappingError
+
+
+def small_machine(name="small"):
+    fsm = FSM(name, 1, 1, ["A", "B"], "A")
+    fsm.add("A", "0", "A", "0")
+    fsm.add("A", "1", "B", "1")
+    fsm.add("B", "-", "A", "0")
+    return fsm
+
+
+@pytest.fixture(scope="module")
+def two_bench_report():
+    design = FsmDesign(get_device("XC2V250"))
+    design.add(load_benchmark("dk14"))
+    design.add(load_benchmark("keyb"), idle_fraction=0.5)
+    return design.implement(num_cycles=400)
+
+
+class TestDesign:
+    def test_every_fsm_gets_a_choice(self, two_bench_report):
+        assert {c.name for c in two_bench_report.choices} == {"dk14", "keyb"}
+
+    def test_design_fits_target_device(self, two_bench_report):
+        assert two_bench_report.fits()
+
+    def test_design_saves_power_vs_all_ff(self, two_bench_report):
+        assert two_bench_report.total_power_mw < \
+            two_bench_report.baseline_power_mw
+        assert two_bench_report.saving_percent > 0
+
+    def test_idle_machine_gets_clock_control(self, two_bench_report):
+        keyb = next(c for c in two_bench_report.choices if c.name == "keyb")
+        assert keyb.kind == "rom+cc"
+
+    def test_utilization_aggregates(self, two_bench_report):
+        util = two_bench_report.total_utilization
+        assert util.luts == sum(
+            c.utilization.luts for c in two_bench_report.choices
+        )
+        assert two_bench_report.brams_used >= 1
+
+
+class TestBudget:
+    def test_zero_spare_brams_forces_ff(self):
+        design = FsmDesign(spare_brams=0)
+        design.add(load_benchmark("dk14"))
+        report = design.implement(num_cycles=200)
+        assert all(c.kind == "ff" for c in report.choices)
+        assert report.brams_used == 0
+
+    def test_one_block_goes_to_the_best_saver(self):
+        design = FsmDesign(spare_brams=1)
+        design.add(load_benchmark("dk14"))        # small saving
+        design.add(load_benchmark("donfile"))     # big saving
+        report = design.implement(num_cycles=300)
+        by_name = {c.name: c for c in report.choices}
+        assert by_name["donfile"].kind.startswith("rom")
+        assert by_name["dk14"].kind == "ff"
+        assert report.brams_used == 1
+
+    def test_forced_rom_beyond_budget_rejected(self):
+        design = FsmDesign(spare_brams=0)
+        design.add(small_machine(), policy="rom")
+        with pytest.raises(MappingError):
+            design.implement(num_cycles=100)
+
+    def test_forced_ff_honoured(self):
+        design = FsmDesign()
+        design.add(load_benchmark("donfile"), policy="ff")
+        report = design.implement(num_cycles=200)
+        assert report.choices[0].kind == "ff"
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        design = FsmDesign()
+        with pytest.raises(ValueError):
+            design.add(small_machine(), policy="maybe")
+
+    def test_nondeterministic_fsm_rejected_at_add(self):
+        fsm = FSM("bad", 1, 1, ["A", "B"], "A")
+        fsm.add("A", "-", "A", "0")
+        fsm.add("A", "1", "B", "1")
+        design = FsmDesign()
+        with pytest.raises(Exception):
+            design.add(fsm)
+
+    def test_len_counts_registered_machines(self):
+        design = FsmDesign()
+        design.add(small_machine("x"))
+        design.add(small_machine("y"))
+        assert len(design) == 2

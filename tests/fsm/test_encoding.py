@@ -1,0 +1,136 @@
+"""Unit tests for state encodings."""
+
+import math
+
+import pytest
+
+from repro.fsm.encoding import (
+    ENCODING_STYLES,
+    StateEncoding,
+    binary_encoding,
+    gray_encoding,
+    johnson_encoding,
+    make_encoding,
+    one_hot_encoding,
+)
+from repro.fsm.machine import FSM, FsmError
+
+
+def machine(num_states=6, reset="s0"):
+    states = [f"s{i}" for i in range(num_states)]
+    fsm = FSM("m", 1, 1, states, reset)
+    for s in states:
+        fsm.add(s, "-", states[0], "0")
+    return fsm
+
+
+class TestBinary:
+    def test_width_is_ceil_log2(self):
+        assert binary_encoding(machine(6)).width == 3
+        assert binary_encoding(machine(8)).width == 3
+        assert binary_encoding(machine(9)).width == 4
+
+    def test_single_state_width_one(self):
+        assert binary_encoding(machine(1)).width == 1
+
+    def test_reset_gets_code_zero(self):
+        enc = binary_encoding(machine(6, reset="s3"))
+        assert enc.encode("s3") == 0
+
+    def test_custom_reset_code(self):
+        enc = binary_encoding(machine(4), reset_code=2)
+        assert enc.encode("s0") == 2
+        assert len(set(enc.codes.values())) == 4
+
+    def test_reset_code_must_fit(self):
+        with pytest.raises(FsmError):
+            binary_encoding(machine(4), reset_code=4)
+
+    def test_codes_are_dense(self):
+        enc = binary_encoding(machine(5))
+        assert sorted(enc.codes.values()) == [0, 1, 2, 3, 4]
+
+
+class TestGray:
+    def test_adjacent_codes_differ_by_one_bit(self):
+        enc = gray_encoding(machine(8))
+        order = ["s0"] + [f"s{i}" for i in range(1, 8)]
+        for a, b in zip(order, order[1:]):
+            diff = enc.encode(a) ^ enc.encode(b)
+            assert bin(diff).count("1") == 1
+
+    def test_reset_is_zero(self):
+        assert gray_encoding(machine(5)).encode("s0") == 0
+
+
+class TestOneHot:
+    def test_width_equals_state_count(self):
+        enc = one_hot_encoding(machine(6))
+        assert enc.width == 6
+
+    def test_every_code_has_one_bit(self):
+        enc = one_hot_encoding(machine(6))
+        for code in enc.codes.values():
+            assert bin(code).count("1") == 1
+
+    def test_reset_gets_bit_zero(self):
+        assert one_hot_encoding(machine(4)).encode("s0") == 1
+
+
+class TestJohnson:
+    def test_codes_distinct(self):
+        enc = johnson_encoding(machine(9))
+        assert len(set(enc.codes.values())) == 9
+
+    def test_adjacent_codes_shift(self):
+        enc = johnson_encoding(machine(6))
+        assert enc.encode("s0") == 0
+        # The ring fills with ones from the LSB.
+        assert enc.encode("s1") == 0b001
+
+    def test_width_half_of_states(self):
+        assert johnson_encoding(machine(10)).width == 5
+
+
+class TestEncodingObject:
+    def test_decode_inverts_encode(self):
+        for style in ENCODING_STYLES:
+            enc = make_encoding(machine(7), style)
+            for state in machine(7).states:
+                assert enc.decode(enc.encode(state)) == state
+
+    def test_decode_unknown_code_raises(self):
+        enc = binary_encoding(machine(3))
+        with pytest.raises(FsmError):
+            enc.decode(7)
+
+    def test_encode_unknown_state_raises(self):
+        enc = binary_encoding(machine(3))
+        with pytest.raises(FsmError):
+            enc.encode("zz")
+
+    def test_has_code(self):
+        enc = binary_encoding(machine(3))
+        assert enc.has_code(0)
+        assert not enc.has_code(5)
+
+    def test_encode_bits_lsb_first(self):
+        enc = binary_encoding(machine(8))
+        state = enc.decode(0b101)
+        assert enc.encode_bits(state) == [1, 0, 1]
+
+    def test_bit_names(self):
+        enc = binary_encoding(machine(4))
+        assert enc.bit_names == ["state0", "state1"]
+
+    def test_injectivity_enforced(self):
+        with pytest.raises(FsmError):
+            StateEncoding("broken", 2, {"a": 1, "b": 1})
+
+    def test_width_overflow_enforced(self):
+        with pytest.raises(FsmError):
+            StateEncoding("broken", 1, {"a": 2})
+
+    def test_make_encoding_unknown_style(self):
+        with pytest.raises(FsmError):
+            make_encoding(machine(3), "octal")

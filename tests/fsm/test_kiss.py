@@ -1,0 +1,142 @@
+"""Unit tests for KISS2 parsing and formatting."""
+
+import pytest
+
+from repro.fsm.kiss import format_kiss, load_kiss_file, parse_kiss, save_kiss_file
+from repro.fsm.machine import FsmError
+
+DETECTOR = """
+.i 1
+.o 1
+.s 4
+.p 8
+.r A
+0 A B 0
+1 A A 0
+0 B B 0
+1 B C 0
+0 C D 0
+1 C A 0
+0 D B 0
+1 D C 1
+.e
+"""
+
+
+class TestParsing:
+    def test_basic_parse(self):
+        fsm = parse_kiss(DETECTOR, "seq0101")
+        assert fsm.name == "seq0101"
+        assert fsm.num_inputs == 1
+        assert fsm.num_outputs == 1
+        assert fsm.num_states == 4
+        assert fsm.reset_state == "A"
+        assert len(fsm.transitions) == 8
+
+    def test_state_order_follows_appearance(self):
+        fsm = parse_kiss(DETECTOR)
+        assert fsm.states == ["A", "B", "C", "D"]
+
+    def test_reset_defaults_to_first_source(self):
+        text = ".i 1\n.o 1\n0 S1 S2 0\n1 S1 S1 0\n-"
+        fsm = parse_kiss(".i 1\n.o 1\n0 S1 S2 0\n1 S2 S1 1\n")
+        assert fsm.reset_state == "S1"
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n.i 1\n.o 1\n\n0 A A 1  # trailing\n"
+        fsm = parse_kiss(text)
+        assert len(fsm.transitions) == 1
+
+    def test_dont_care_inputs(self):
+        text = ".i 3\n.o 1\n1-0 A B 1\n--- B A 0\n"
+        fsm = parse_kiss(text)
+        assert fsm.transitions[0].inputs.num_literals() == 2
+        assert fsm.transitions[1].inputs.is_full()
+
+    def test_dont_care_outputs(self):
+        text = ".i 1\n.o 2\n0 A A 1-\n1 A A 00\n"
+        fsm = parse_kiss(text)
+        assert fsm.transitions[0].outputs == "1-"
+
+    def test_missing_i_rejected(self):
+        with pytest.raises(FsmError):
+            parse_kiss(".o 1\n0 A A 0\n")
+
+    def test_missing_o_rejected(self):
+        with pytest.raises(FsmError):
+            parse_kiss(".i 1\n0 A A 0\n")
+
+    def test_no_transitions_rejected(self):
+        with pytest.raises(FsmError):
+            parse_kiss(".i 1\n.o 1\n.e\n")
+
+    def test_wrong_state_count_rejected(self):
+        with pytest.raises(FsmError):
+            parse_kiss(".i 1\n.o 1\n.s 5\n0 A A 0\n")
+
+    def test_wrong_product_count_rejected(self):
+        with pytest.raises(FsmError):
+            parse_kiss(".i 1\n.o 1\n.p 2\n0 A A 0\n")
+
+    def test_wrong_input_width_rejected(self):
+        with pytest.raises(FsmError):
+            parse_kiss(".i 2\n.o 1\n0 A A 0\n")
+
+    def test_wrong_output_width_rejected(self):
+        with pytest.raises(FsmError):
+            parse_kiss(".i 1\n.o 2\n0 A A 0\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(FsmError):
+            parse_kiss(".i 1\n.o 1\n0 A A\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(FsmError):
+            parse_kiss(".i 1\n.o 1\n.bogus 3\n0 A A 0\n")
+
+    def test_cosmetic_directives_tolerated(self):
+        text = ".i 1\n.o 1\n.ilb x\n.ob y\n0 A A 0\n.e\n"
+        fsm = parse_kiss(text)
+        assert len(fsm.transitions) == 1
+
+    def test_parsing_stops_at_e(self):
+        text = ".i 1\n.o 1\n0 A A 0\n.e\ngarbage here\n"
+        fsm = parse_kiss(text)
+        assert len(fsm.transitions) == 1
+
+    def test_invalid_cube_character_reported_with_line(self):
+        with pytest.raises(FsmError, match="line"):
+            parse_kiss(".i 1\n.o 1\nz A A 0\n")
+
+
+class TestFormatting:
+    def test_roundtrip_preserves_machine(self):
+        fsm = parse_kiss(DETECTOR, "seq0101")
+        text = format_kiss(fsm)
+        again = parse_kiss(text, "seq0101")
+        assert again.states == fsm.states
+        assert again.reset_state == fsm.reset_state
+        assert len(again.transitions) == len(fsm.transitions)
+        for a, b in zip(fsm.transitions, again.transitions):
+            assert (a.src, a.dst, a.inputs, a.outputs) == (
+                b.src, b.dst, b.inputs, b.outputs
+            )
+
+    def test_format_declares_counts(self):
+        text = format_kiss(parse_kiss(DETECTOR))
+        assert ".p 8" in text
+        assert ".s 4" in text
+        assert ".r A" in text
+        assert text.rstrip().endswith(".e")
+
+
+class TestFileIO:
+    def test_load_and_save(self, tmp_path):
+        path = tmp_path / "det.kiss2"
+        path.write_text(DETECTOR)
+        fsm = load_kiss_file(path)
+        assert fsm.name == "det"  # from file stem
+        out = tmp_path / "copy.kiss2"
+        save_kiss_file(fsm, out)
+        again = load_kiss_file(out, name="copy")
+        assert again.num_states == fsm.num_states

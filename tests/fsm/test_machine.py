@@ -1,0 +1,178 @@
+"""Unit tests for the FSM six-tuple model."""
+
+import pytest
+
+from repro.fsm.machine import FSM, FsmError, Transition
+from repro.logic.cube import Cube
+
+KISS_0101 = [
+    ("A", "0", "B", "0"),
+    ("A", "1", "A", "0"),
+    ("B", "0", "B", "0"),
+    ("B", "1", "C", "0"),
+    ("C", "0", "D", "0"),
+    ("C", "1", "A", "0"),
+    ("D", "0", "B", "0"),
+    ("D", "1", "C", "1"),
+]
+
+
+def detector() -> FSM:
+    fsm = FSM("seq0101", 1, 1, ["A", "B", "C", "D"], "A")
+    for src, pattern, dst, out in KISS_0101:
+        fsm.add(src, pattern, dst, out)
+    return fsm
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        fsm = detector()
+        assert fsm.num_states == 4
+        assert fsm.num_inputs == 1
+        assert fsm.num_outputs == 1
+        assert len(fsm.transitions) == 8
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(FsmError):
+            FSM("x", 1, 1, ["A", "A"], "A")
+
+    def test_unknown_reset_rejected(self):
+        with pytest.raises(FsmError):
+            FSM("x", 1, 1, ["A"], "B")
+
+    def test_empty_state_list_rejected(self):
+        with pytest.raises(FsmError):
+            FSM("x", 1, 1, [], "A")
+
+    def test_negative_io_rejected(self):
+        with pytest.raises(FsmError):
+            FSM("x", -1, 1, ["A"], "A")
+
+    def test_transition_to_unknown_state_rejected(self):
+        fsm = FSM("x", 1, 1, ["A"], "A")
+        with pytest.raises(FsmError):
+            fsm.add("A", "0", "B", "0")
+
+    def test_transition_from_unknown_state_rejected(self):
+        fsm = FSM("x", 1, 1, ["A"], "A")
+        with pytest.raises(FsmError):
+            fsm.add("B", "0", "A", "0")
+
+    def test_wrong_input_arity_rejected(self):
+        fsm = FSM("x", 2, 1, ["A"], "A")
+        with pytest.raises(FsmError):
+            fsm.add("A", "0", "A", "0")
+
+    def test_wrong_output_arity_rejected(self):
+        fsm = FSM("x", 1, 2, ["A"], "A")
+        with pytest.raises(FsmError):
+            fsm.add("A", "0", "A", "0")
+
+    def test_bad_output_character_rejected(self):
+        with pytest.raises(FsmError):
+            Transition("A", "A", Cube.from_string("0"), "x")
+
+    def test_copy_is_deep_for_transitions(self):
+        fsm = detector()
+        clone = fsm.copy()
+        clone.add("A", "-", "A", "0")
+        assert len(fsm.transitions) == 8
+        assert len(clone.transitions) == 9
+
+    def test_input_output_names(self):
+        fsm = FSM("x", 2, 3, ["A"], "A")
+        assert fsm.input_names == ["in0", "in1"]
+        assert fsm.output_names == ["out0", "out1", "out2"]
+
+
+class TestSemantics:
+    def test_lookup_finds_matching_cube(self):
+        fsm = detector()
+        t = fsm.lookup("A", 0)
+        assert t is not None and t.dst == "B"
+
+    def test_lookup_unspecified_returns_none(self):
+        fsm = FSM("x", 1, 1, ["A"], "A")
+        fsm.add("A", "1", "A", "1")
+        assert fsm.lookup("A", 0) is None
+
+    def test_step_follows_transition(self):
+        fsm = detector()
+        assert fsm.step("D", 1) == ("C", 1)
+
+    def test_step_hold_convention(self):
+        fsm = FSM("x", 1, 1, ["A"], "A")
+        fsm.add("A", "1", "A", "1")
+        assert fsm.step("A", 0) == ("A", 0)
+
+    def test_output_bits_packing(self):
+        t = Transition("A", "A", Cube.from_string("1"), "101")
+        # Output pattern char i is output bit i.
+        assert t.output_bits() == 0b101
+
+    def test_resolved_outputs(self):
+        t = Transition("A", "A", Cube.from_string("1"), "1-0")
+        assert t.resolved_outputs() == "100"
+
+    def test_transitions_from(self):
+        fsm = detector()
+        assert len(fsm.transitions_from("A")) == 2
+        with pytest.raises(FsmError):
+            fsm.transitions_from("Z")
+
+    def test_state_index(self):
+        fsm = detector()
+        assert fsm.state_index("C") == 2
+        with pytest.raises(FsmError):
+            fsm.state_index("Z")
+
+
+class TestStructuralChecks:
+    def test_detector_is_deterministic_and_complete(self):
+        fsm = detector()
+        assert fsm.is_deterministic()
+        assert fsm.is_complete()
+
+    def test_overlapping_cubes_detected(self):
+        fsm = FSM("x", 2, 1, ["A", "B"], "A")
+        fsm.add("A", "1-", "A", "0")
+        fsm.add("A", "-1", "B", "0")  # overlaps at 11 with different dst
+        assert not fsm.is_deterministic()
+        with pytest.raises(FsmError):
+            fsm.validate()
+
+    def test_benign_overlap_allowed(self):
+        fsm = FSM("x", 2, 1, ["A"], "A")
+        fsm.add("A", "1-", "A", "0")
+        fsm.add("A", "-1", "A", "0")  # same dst/output: benign
+        assert fsm.is_deterministic()
+        fsm.validate()
+
+    def test_incomplete_machine_detected(self):
+        fsm = FSM("x", 1, 1, ["A"], "A")
+        fsm.add("A", "1", "A", "0")
+        assert not fsm.is_complete()
+
+    def test_moore_detection_positive(self):
+        fsm = FSM("x", 1, 1, ["A", "B"], "A")
+        fsm.add("A", "0", "A", "0")
+        fsm.add("A", "1", "B", "0")
+        fsm.add("B", "-", "A", "1")
+        assert fsm.is_moore()
+
+    def test_moore_detection_negative(self):
+        assert not detector().is_moore()
+
+    def test_moore_output_of(self):
+        fsm = FSM("x", 1, 1, ["A", "B"], "A")
+        fsm.add("A", "-", "B", "1")
+        fsm.add("B", "-", "A", "0")
+        assert fsm.moore_output_of("A") == "1"
+        assert fsm.moore_output_of("B") == "0"
+
+    def test_moore_output_of_conflicting_is_none(self):
+        fsm = detector()
+        assert fsm.moore_output_of("D") is None
+
+    def test_repr(self):
+        assert "seq0101" in repr(detector())

@@ -1,0 +1,70 @@
+"""Unit tests for STG statistics."""
+
+from repro.fsm.kiss import parse_kiss
+from repro.fsm.machine import FSM
+from repro.fsm.stats import compute_stats
+
+DETECTOR = """
+.i 1
+.o 1
+.r A
+0 A B 0
+1 A A 0
+0 B B 0
+1 B C 0
+0 C D 0
+1 C A 0
+0 D B 0
+1 D C 1
+"""
+
+
+def test_detector_stats():
+    st = compute_stats(parse_kiss(DETECTOR, "det"))
+    assert st.num_states == 4
+    assert st.state_bits == 2
+    assert st.num_transitions == 8
+    assert st.dont_care_density == 0.0
+    assert st.max_state_inputs == 1
+    assert st.is_complete
+    assert not st.is_moore
+
+
+def test_dont_care_density():
+    fsm = FSM("dc", 4, 1, ["A"], "A")
+    fsm.add("A", "1---", "A", "0")  # 3 of 4 positions free
+    fsm.add("A", "0---", "A", "1")
+    st = compute_stats(fsm)
+    assert st.dont_care_density == 0.75
+    assert st.max_state_inputs == 1
+
+
+def test_max_state_inputs_takes_union_per_state():
+    fsm = FSM("u", 3, 1, ["A", "B"], "A")
+    fsm.add("A", "1--", "B", "0")
+    fsm.add("A", "0-1", "A", "0")   # A uses columns {0, 2}
+    fsm.add("B", "-1-", "A", "1")   # B uses column {1}
+    fsm.add("B", "-0-", "B", "0")
+    st = compute_stats(fsm)
+    assert st.max_state_inputs == 2
+
+
+def test_derived_address_and_data_bits():
+    st = compute_stats(parse_kiss(DETECTOR, "det"))
+    assert st.address_bits_uncompacted == 3   # 2 state + 1 input
+    assert st.address_bits_compacted == 3
+    assert st.data_bits == 3                  # 2 state + 1 output
+
+
+def test_single_state_machine():
+    fsm = FSM("one", 1, 1, ["A"], "A")
+    fsm.add("A", "-", "A", "1")
+    st = compute_stats(fsm)
+    assert st.state_bits == 1
+    assert st.num_states == 1
+
+
+def test_zero_transition_positions_density():
+    fsm = FSM("z", 0, 1, ["A"], "A")
+    st = compute_stats(fsm)
+    assert st.dont_care_density == 0.0

@@ -1,0 +1,172 @@
+"""Unit tests for FSM transformations."""
+
+import pytest
+
+from repro.fsm.kiss import parse_kiss
+from repro.fsm.machine import FSM, FsmError
+from repro.fsm.simulate import FsmSimulator, random_stimulus
+from repro.fsm.transform import (
+    complete,
+    mealy_to_moore,
+    minimize_states,
+    reachable_states,
+    remove_unreachable,
+)
+
+DETECTOR = """
+.i 1
+.o 1
+.r A
+0 A B 0
+1 A A 0
+0 B B 0
+1 B C 0
+0 C D 0
+1 C A 0
+0 D B 0
+1 D C 1
+"""
+
+
+def incomplete_machine():
+    fsm = FSM("inc", 2, 1, ["A", "B"], "A")
+    fsm.add("A", "11", "B", "1")
+    fsm.add("B", "0-", "A", "0")
+    return fsm
+
+
+class TestComplete:
+    def test_result_is_complete(self):
+        completed = complete(incomplete_machine())
+        assert completed.is_complete()
+
+    def test_added_edges_are_hold_self_loops(self):
+        fsm = incomplete_machine()
+        completed = complete(fsm)
+        added = completed.transitions[len(fsm.transitions):]
+        assert added, "expected fill-in transitions"
+        for t in added:
+            assert t.src == t.dst
+            assert t.resolved_outputs() == "0"
+
+    def test_behaviour_matches_hold_semantics(self):
+        fsm = incomplete_machine()
+        completed = complete(fsm)
+        stim = random_stimulus(2, 300, seed=1)
+        ref = FsmSimulator(fsm).run(stim)
+        got = FsmSimulator(completed).run(stim)
+        assert got.outputs == ref.outputs
+        assert got.states == ref.states
+
+    def test_complete_machine_unchanged(self):
+        fsm = parse_kiss(DETECTOR)
+        completed = complete(fsm)
+        assert len(completed.transitions) == len(fsm.transitions)
+
+    def test_custom_default_output(self):
+        completed = complete(incomplete_machine(), default_output="1")
+        added = completed.transitions[2:]
+        assert all(t.outputs == "1" for t in added)
+
+    def test_default_output_width_checked(self):
+        with pytest.raises(FsmError):
+            complete(incomplete_machine(), default_output="00")
+
+
+class TestReachability:
+    def orphan_machine(self):
+        fsm = FSM("orph", 1, 1, ["A", "B", "Z"], "A")
+        fsm.add("A", "-", "B", "0")
+        fsm.add("B", "-", "A", "1")
+        fsm.add("Z", "-", "A", "0")  # Z unreachable
+        return fsm
+
+    def test_reachable_states(self):
+        assert reachable_states(self.orphan_machine()) == {"A", "B"}
+
+    def test_remove_unreachable(self):
+        pruned = remove_unreachable(self.orphan_machine())
+        assert pruned.states == ["A", "B"]
+        assert all(t.src != "Z" for t in pruned.transitions)
+
+    def test_behaviour_preserved(self):
+        fsm = self.orphan_machine()
+        pruned = remove_unreachable(fsm)
+        stim = random_stimulus(1, 100, seed=2)
+        assert FsmSimulator(fsm).run(stim).outputs == \
+            FsmSimulator(pruned).run(stim).outputs
+
+
+class TestMealyToMoore:
+    def test_result_is_moore(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        moore = mealy_to_moore(fsm)
+        assert moore.is_moore()
+
+    def test_moore_input_returned_unchanged(self):
+        fsm = FSM("m", 1, 1, ["A", "B"], "A")
+        fsm.add("A", "-", "B", "0")
+        fsm.add("B", "-", "A", "1")
+        moore = mealy_to_moore(fsm)
+        assert moore.num_states == fsm.num_states
+
+    def test_output_stream_is_delayed_mealy_stream(self):
+        """Kohavi's transform: Moore output k equals Mealy output k-1."""
+        fsm = parse_kiss(DETECTOR, "det")
+        moore = mealy_to_moore(fsm)
+        stim = random_stimulus(1, 400, seed=3)
+        mealy_out = FsmSimulator(fsm).run(stim).outputs
+        moore_out = FsmSimulator(moore).run(stim).outputs
+        assert moore_out[0] == 0  # reset state emits zero
+        assert moore_out[1:] == mealy_out[:-1]
+
+    def test_state_count_bounded(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        moore = mealy_to_moore(fsm)
+        distinct_outputs = len({t.resolved_outputs() for t in fsm.transitions})
+        assert moore.num_states <= fsm.num_states * (distinct_outputs + 1)
+
+
+class TestMinimizeStates:
+    def redundant_machine(self):
+        # B and C are behaviourally identical.
+        fsm = FSM("red", 1, 1, ["A", "B", "C"], "A")
+        fsm.add("A", "0", "B", "0")
+        fsm.add("A", "1", "C", "0")
+        fsm.add("B", "0", "A", "1")
+        fsm.add("B", "1", "B", "0")
+        fsm.add("C", "0", "A", "1")
+        fsm.add("C", "1", "C", "0")
+        return fsm
+
+    def test_merges_equivalent_states(self):
+        minimized = minimize_states(self.redundant_machine())
+        assert minimized.num_states == 2
+
+    def test_behaviour_preserved(self):
+        fsm = self.redundant_machine()
+        minimized = minimize_states(fsm)
+        stim = random_stimulus(1, 500, seed=4)
+        assert FsmSimulator(fsm).run(stim).outputs == \
+            FsmSimulator(minimized).run(stim).outputs
+
+    def test_already_minimal_unchanged(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        assert minimize_states(fsm).num_states == 4
+
+    def test_incomplete_machine_hold_semantics_respected(self):
+        fsm = incomplete_machine()
+        minimized = minimize_states(fsm)
+        stim = random_stimulus(2, 400, seed=5)
+        assert FsmSimulator(fsm).run(stim).outputs == \
+            FsmSimulator(minimized).run(stim).outputs
+
+    def test_too_many_inputs_rejected(self):
+        fsm = FSM("wide", 17, 1, ["A"], "A")
+        fsm.add("A", "-" * 17, "A", "0")
+        with pytest.raises(FsmError):
+            minimize_states(fsm)
+
+    def test_reset_state_preserved_in_class(self):
+        minimized = minimize_states(self.redundant_machine())
+        assert minimized.reset_state == "A"

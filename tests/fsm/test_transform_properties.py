@@ -1,0 +1,97 @@
+"""Property-based tests: FSM transformations preserve behaviour."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import GeneratorSpec, generate_fsm
+from repro.fsm.simulate import FsmSimulator, random_stimulus
+from repro.fsm.transform import (
+    complete,
+    mealy_to_moore,
+    minimize_states,
+    remove_unreachable,
+)
+
+
+def _make_spec(num_states, num_inputs, num_outputs, care, branch, seed):
+    care = min(care, num_inputs)
+    return GeneratorSpec(
+        name="xform",
+        num_states=num_states,
+        num_inputs=num_inputs,
+        num_outputs=num_outputs,
+        care_inputs=(min(1, care), care),
+        branch_probability=branch,
+        self_loop_bias=0.25,
+        seed=seed,
+    )
+
+
+spec_strategy = st.builds(
+    _make_spec,
+    num_states=st.integers(min_value=1, max_value=10),
+    num_inputs=st.integers(min_value=1, max_value=4),
+    num_outputs=st.integers(min_value=1, max_value=4),
+    care=st.integers(min_value=0, max_value=3),
+    branch=st.floats(min_value=0.2, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=9999),
+)
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def streams_equal(a, b, num_inputs, cycles=100, seed=0):
+    stim = random_stimulus(num_inputs, cycles, seed=seed)
+    return FsmSimulator(a).run(stim).outputs == \
+        FsmSimulator(b).run(stim).outputs
+
+
+@given(spec_strategy, st.integers(0, 500))
+@SETTINGS
+def test_completion_preserves_behaviour(spec, seed):
+    fsm = generate_fsm(spec)
+    completed = complete(fsm)
+    assert completed.is_complete()
+    assert streams_equal(fsm, completed, fsm.num_inputs, seed=seed)
+
+
+@given(spec_strategy, st.integers(0, 500))
+@SETTINGS
+def test_minimization_preserves_behaviour(spec, seed):
+    fsm = generate_fsm(spec)
+    minimized = minimize_states(fsm)
+    assert minimized.num_states <= fsm.num_states
+    assert streams_equal(fsm, minimized, fsm.num_inputs, seed=seed)
+
+
+@given(spec_strategy, st.integers(0, 500))
+@SETTINGS
+def test_minimization_is_idempotent(spec, seed):
+    fsm = generate_fsm(spec)
+    once = minimize_states(fsm)
+    twice = minimize_states(once)
+    assert twice.num_states == once.num_states
+
+
+@given(spec_strategy, st.integers(0, 500))
+@SETTINGS
+def test_mealy_to_moore_delays_stream_by_one(spec, seed):
+    fsm = generate_fsm(spec)
+    moore = mealy_to_moore(fsm)
+    assert moore.is_moore()
+    stim = random_stimulus(fsm.num_inputs, 80, seed=seed)
+    mealy_out = FsmSimulator(fsm).run(stim).outputs
+    moore_out = FsmSimulator(moore).run(stim).outputs
+    if fsm.is_moore():
+        # Already Moore: returned unchanged.
+        assert moore_out == mealy_out
+    else:
+        assert moore_out[1:] == mealy_out[:-1]
+
+
+@given(spec_strategy)
+@SETTINGS
+def test_remove_unreachable_is_identity_on_generated_machines(spec):
+    fsm = generate_fsm(spec)
+    pruned = remove_unreachable(fsm)
+    assert pruned.num_states == fsm.num_states

@@ -1,0 +1,112 @@
+"""Property-based tests of the cube algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cover, Cube
+
+N_VARS = 5
+
+
+def cube_strategy(n_vars=N_VARS):
+    return st.text(alphabet="01-", min_size=n_vars, max_size=n_vars).map(
+        Cube.from_string
+    )
+
+
+def cover_strategy(n_vars=N_VARS, max_cubes=6):
+    return st.lists(cube_strategy(n_vars), min_size=0, max_size=max_cubes).map(
+        lambda cubes: Cover(n_vars, cubes)
+    )
+
+
+minterms = st.integers(min_value=0, max_value=(1 << N_VARS) - 1)
+
+
+@given(cube_strategy())
+def test_string_roundtrip(cube):
+    assert Cube.from_string(str(cube)) == cube
+
+
+@given(cube_strategy(), minterms)
+def test_minterm_membership_matches_enumeration(cube, m):
+    assert cube.contains_minterm(m) == (m in set(cube.minterms()))
+
+
+@given(cube_strategy(), cube_strategy())
+def test_intersection_is_conjunction(a, b):
+    inter = a.intersect(b)
+    for m in range(1 << N_VARS):
+        expected = a.contains_minterm(m) and b.contains_minterm(m)
+        got = inter is not None and inter.contains_minterm(m)
+        assert got == expected
+
+
+@given(cube_strategy(), cube_strategy())
+def test_supercube_contains_both(a, b):
+    sup = a.supercube(b)
+    assert sup.contains(a)
+    assert sup.contains(b)
+
+
+@given(cube_strategy(), cube_strategy())
+def test_containment_matches_minterm_subset(a, b):
+    subset = set(b.minterms()) <= set(a.minterms())
+    assert a.contains(b) == subset
+
+
+@given(cube_strategy(), cube_strategy())
+def test_distance_symmetric(a, b):
+    assert a.distance(b) == b.distance(a)
+
+
+@given(cube_strategy(), cube_strategy())
+def test_distance_zero_iff_intersecting(a, b):
+    assert (a.distance(b) == 0) == (a.intersect(b) is not None)
+
+
+@given(cube_strategy(), cube_strategy())
+def test_consensus_within_supercube(a, b):
+    consensus = a.consensus(b)
+    if consensus is not None:
+        assert a.supercube(b).contains(consensus)
+
+
+@given(cube_strategy(), cube_strategy())
+def test_consensus_covered_by_union(a, b):
+    """Every consensus minterm lies in a or b after flipping the free var."""
+    consensus = a.consensus(b)
+    if consensus is None:
+        return
+    union = Cover(N_VARS, [a, b])
+    # The consensus is an implicant of a OR b.
+    for m in consensus.minterms():
+        assert union.evaluate(m)
+
+
+@given(cube_strategy(), minterms)
+def test_cofactor_of_containing_minterm(cube, m):
+    """Cofactoring against a minterm inside the cube yields the full cube."""
+    point = Cube.from_minterm(N_VARS, m)
+    cf = cube.cofactor(point)
+    if cube.contains_minterm(m):
+        assert cf is not None and cf.is_full()
+    else:
+        assert cf is None or not cf.is_empty()
+
+
+@given(cover_strategy(), minterms)
+def test_cover_evaluate_is_disjunction(cover, m):
+    assert cover.evaluate(m) == any(c.contains_minterm(m) for c in cover)
+
+
+@given(cover_strategy())
+def test_single_cube_containment_preserves_function(cover):
+    cleaned = cover.single_cube_containment()
+    for m in range(1 << N_VARS):
+        assert cover.evaluate(m) == cleaned.evaluate(m)
+
+
+@given(cover_strategy())
+def test_single_cube_containment_never_grows(cover):
+    assert len(cover.single_cube_containment()) <= len(cover)

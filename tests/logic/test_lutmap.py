@@ -1,0 +1,215 @@
+"""Unit tests for K-LUT technology mapping."""
+
+import pytest
+
+from repro.logic.cube import Cover
+from repro.logic.lutmap import (
+    GND_NET,
+    VCC_NET,
+    LutMapping,
+    MappedLut,
+    map_network,
+    map_truth_tables,
+)
+from repro.logic.network import LogicNetwork, sop_to_network
+from repro.logic.truthtable import TruthTable
+
+
+def check_equivalence(network, mapping, input_names):
+    """Exhaustively compare the mapped netlist against the gate network."""
+    n = len(input_names)
+    assert n <= 12, "exhaustive check limited to 12 inputs"
+    for m in range(1 << n):
+        values = {name: (m >> i) & 1 for i, name in enumerate(input_names)}
+        assert mapping.evaluate(values) == network.evaluate(values), m
+
+
+def build_sop(patterns, names, out="f"):
+    cover = Cover.from_strings(patterns)
+    return sop_to_network({out: cover}, names)
+
+
+class TestBasicMapping:
+    def test_single_gate_single_lut(self):
+        net = build_sop(["11"], ["a", "b"])
+        mapping = map_network(net)
+        assert mapping.num_luts == 1
+        check_equivalence(net, mapping, ["a", "b"])
+
+    def test_four_input_function_one_lut(self):
+        net = build_sop(["1111", "0000"], list("abcd"))
+        mapping = map_network(net, k=4)
+        assert mapping.num_luts == 1
+        check_equivalence(net, mapping, list("abcd"))
+
+    def test_five_input_function_needs_multiple_luts(self):
+        net = build_sop(["11111"], list("abcde"))
+        mapping = map_network(net, k=4)
+        assert mapping.num_luts == 2
+        check_equivalence(net, mapping, list("abcde"))
+
+    def test_wide_or_function(self):
+        patterns = []
+        for i in range(8):
+            p = ["-"] * 8
+            p[i] = "1"
+            patterns.append("".join(p))
+        names = [f"i{k}" for k in range(8)]
+        net = build_sop(patterns, names)
+        mapping = map_network(net, k=4)
+        check_equivalence(net, mapping, names)
+        # OR of 8 literals fits in 3 LUTs (4+4 then combine).
+        assert mapping.num_luts <= 3
+
+    def test_k2_mapping(self):
+        net = build_sop(["111"], list("abc"))
+        mapping = map_network(net, k=2)
+        check_equivalence(net, mapping, list("abc"))
+        assert all(len(l.input_nets) <= 2 for l in mapping.luts)
+
+    def test_k_below_two_rejected(self):
+        net = build_sop(["11"], ["a", "b"])
+        with pytest.raises(ValueError):
+            map_network(net, k=1)
+
+    def test_passthrough_output(self):
+        net = LogicNetwork()
+        a = net.add_input("a")
+        net.set_output("f", a)
+        mapping = map_network(net)
+        assert mapping.num_luts == 0
+        assert mapping.outputs["f"] == "a"
+
+    def test_constant_output(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.set_output("f", net.const(1))
+        mapping = map_network(net)
+        assert mapping.outputs["f"] == VCC_NET
+        assert mapping.evaluate({"a": 0})["f"] == 1
+
+    def test_inverter_output(self):
+        net = LogicNetwork()
+        a = net.add_input("a")
+        net.set_output("f", net.not_(a))
+        mapping = map_network(net)
+        assert mapping.num_luts == 1
+        assert mapping.evaluate({"a": 0})["f"] == 1
+
+
+class TestMappingQuality:
+    def test_shared_logic_mapped_once(self):
+        net = LogicNetwork()
+        a, b, c = (net.add_input(x) for x in "abc")
+        shared = net.and_(a, b)
+        net.set_output("f", net.or_(shared, c))
+        net.set_output("g", net.xor_(shared, c))
+        mapping = map_network(net, k=2)
+        check_equivalence(net, mapping, list("abc"))
+
+    def test_depth_of_deep_chain(self):
+        # AND chain of 16 inputs: depth should be ~2 with 4-LUTs.
+        net = LogicNetwork()
+        terms = [net.add_input(f"i{k}") for k in range(16)]
+        net.set_output("f", net.and_tree(terms))
+        mapping = map_network(net, k=4)
+        assert mapping.depth == 2
+        assert mapping.num_luts == 5
+
+    def test_absorption_removes_partial_luts(self):
+        # A 6-literal AND maps to exactly 2 LUTs after absorption.
+        net = build_sop(["111111"], [f"i{k}" for k in range(6)])
+        mapping = map_network(net, k=4)
+        assert mapping.num_luts == 2
+
+    def test_levels_are_consistent(self):
+        net = build_sop(["11111111"], [f"i{k}" for k in range(8)])
+        mapping = map_network(net, k=4)
+        level = {}
+        for lut in mapping.luts:
+            expected = 1 + max(
+                (level.get(src, 0) for src in lut.input_nets), default=0
+            )
+            assert lut.level == expected
+            level[lut.name] = lut.level
+
+
+class TestLutMappingObject:
+    def test_fanout_counts(self):
+        net = build_sop(["11"], ["a", "b"])
+        mapping = map_network(net)
+        counts = mapping.fanout_counts()
+        assert counts["a"] == 1
+        lut_name = mapping.luts[0].name
+        assert counts[lut_name] == 1  # primary output load
+
+    def test_lut_by_name(self):
+        net = build_sop(["11"], ["a", "b"])
+        mapping = map_network(net)
+        lut = mapping.lut_by_name(mapping.luts[0].name)
+        assert lut.table.n_inputs == 2
+        with pytest.raises(KeyError):
+            mapping.lut_by_name("nope")
+
+    def test_missing_input_value_raises(self):
+        net = build_sop(["11"], ["a", "b"])
+        mapping = map_network(net)
+        with pytest.raises(KeyError):
+            mapping.evaluate({"a": 1})
+
+    def test_mapped_lut_arity_checked(self):
+        with pytest.raises(ValueError):
+            MappedLut("f", ("a",), TruthTable.constant(2, 1), level=1)
+
+
+class TestMapTruthTables:
+    def test_small_function_single_lut(self):
+        tt = TruthTable.from_function(3, lambda a, b, c: a & b | c)
+        mapping = map_truth_tables({"f": (("a", "b", "c"), tt)})
+        assert mapping.num_luts == 1
+        for m in range(8):
+            vals = {"a": m & 1, "b": (m >> 1) & 1, "c": (m >> 2) & 1}
+            assert mapping.evaluate(vals)["f"] == tt.evaluate(m)
+
+    def test_six_input_function_within_shannon_bound(self):
+        tt = TruthTable.from_function(
+            6, lambda *a: (a[0] & a[1]) ^ (a[2] | a[3]) ^ (a[4] & a[5])
+        )
+        names = tuple(f"i{k}" for k in range(6))
+        mapping = map_truth_tables({"f": (names, tt)})
+        assert mapping.num_luts <= 7
+        for m in range(64):
+            vals = {f"i{k}": (m >> k) & 1 for k in range(6)}
+            assert mapping.evaluate(vals)["f"] == tt.evaluate(m)
+
+    def test_constant_function(self):
+        mapping = map_truth_tables(
+            {"f": (("a",), TruthTable.constant(1, 0))}
+        )
+        assert mapping.outputs["f"] == GND_NET
+        assert mapping.num_luts == 0
+
+    def test_projection_is_wire(self):
+        mapping = map_truth_tables(
+            {"f": (("a", "b"), TruthTable.variable(2, 1))}
+        )
+        assert mapping.outputs["f"] == "b"
+        assert mapping.num_luts == 0
+
+    def test_cofactor_sharing_across_outputs(self):
+        # Two 5-input functions with identical lower cofactor structure
+        # share cones through the cache.
+        base = TruthTable.from_function(5, lambda *a: a[0] ^ a[1] ^ a[2])
+        names = tuple(f"i{k}" for k in range(5))
+        solo = map_truth_tables({"f": (names, base)})
+        both = map_truth_tables({"f": (names, base), "g": (names, base)})
+        assert both.num_luts == solo.num_luts  # full sharing
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            map_truth_tables({"f": (("a",), TruthTable.constant(2, 1))})
+
+    def test_ignores_non_support_inputs(self):
+        tt = TruthTable.from_function(4, lambda a, b, c, d: a)
+        mapping = map_truth_tables({"f": (("a", "b", "c", "d"), tt)})
+        assert mapping.outputs["f"] == "a"

@@ -1,0 +1,76 @@
+"""Property-based tests: minimization and complement preserve semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cover, Cube
+from repro.logic.minimize import complement, espresso, is_tautology
+
+N_VARS = 4
+
+
+def cube_strategy():
+    return st.text(alphabet="01-", min_size=N_VARS, max_size=N_VARS).map(
+        Cube.from_string
+    )
+
+
+def cover_strategy(max_cubes=5):
+    return st.lists(cube_strategy(), max_size=max_cubes).map(
+        lambda cubes: Cover(N_VARS, cubes)
+    )
+
+
+@given(cover_strategy())
+def test_complement_is_exact(cover):
+    comp = complement(cover)
+    for m in range(1 << N_VARS):
+        assert comp.evaluate(m) != cover.evaluate(m)
+
+
+@given(cover_strategy())
+def test_cover_or_complement_is_tautology(cover):
+    comp = complement(cover)
+    union = Cover(N_VARS, list(cover.cubes) + list(comp.cubes))
+    assert is_tautology(union)
+
+
+@given(cover_strategy())
+def test_cover_and_complement_disjoint(cover):
+    comp = complement(cover)
+    for a in cover:
+        for b in comp:
+            assert a.intersect(b) is None
+
+
+@given(cover_strategy())
+def test_tautology_matches_exhaustive(cover):
+    expected = all(cover.evaluate(m) for m in range(1 << N_VARS))
+    assert is_tautology(cover) == expected
+
+
+@given(cover_strategy())
+@settings(deadline=2000)
+def test_espresso_preserves_function(cover):
+    result = espresso(cover)
+    for m in range(1 << N_VARS):
+        assert result.evaluate(m) == cover.evaluate(m)
+
+
+@given(cover_strategy(max_cubes=4), cover_strategy(max_cubes=3))
+@settings(deadline=2000)
+def test_espresso_respects_dc_bounds(on, dc):
+    result = espresso(on, dc)
+    for m in range(1 << N_VARS):
+        if on.evaluate(m) and not dc.evaluate(m):
+            assert result.evaluate(m), "ON-set point lost"
+        if result.evaluate(m):
+            assert on.evaluate(m) or dc.evaluate(m), "point outside ON+DC"
+
+
+@given(cover_strategy())
+@settings(deadline=2000)
+def test_espresso_cost_never_increases(cover):
+    cleaned = cover.single_cube_containment()
+    result = espresso(cover)
+    assert len(result) <= max(len(cleaned), 1)

@@ -1,0 +1,189 @@
+"""Unit tests for the technology-independent Boolean network."""
+
+import pytest
+
+from repro.logic.cube import Cover
+from repro.logic.network import LogicNetwork, NodeKind, sop_to_network
+
+
+class TestConstruction:
+    def test_inputs_are_deduplicated(self):
+        net = LogicNetwork()
+        a1 = net.add_input("a")
+        a2 = net.add_input("a")
+        assert a1 == a2
+
+    def test_structural_hashing_shares_gates(self):
+        net = LogicNetwork()
+        a = net.add_input("a")
+        b = net.add_input("b")
+        assert net.and_(a, b) == net.and_(b, a)
+
+    def test_constant_folding_and(self):
+        net = LogicNetwork()
+        a = net.add_input("a")
+        assert net.and_(a, net.const(1)) == a
+        assert net.and_(a, net.const(0)) == net.const(0)
+
+    def test_constant_folding_or(self):
+        net = LogicNetwork()
+        a = net.add_input("a")
+        assert net.or_(a, net.const(0)) == a
+        assert net.or_(a, net.const(1)) == net.const(1)
+
+    def test_constant_folding_xor(self):
+        net = LogicNetwork()
+        a = net.add_input("a")
+        assert net.xor_(a, net.const(0)) == a
+        assert net.xor_(a, net.const(1)) == net.not_(a)
+
+    def test_idempotence(self):
+        net = LogicNetwork()
+        a = net.add_input("a")
+        assert net.and_(a, a) == a
+        assert net.or_(a, a) == a
+        assert net.xor_(a, a) == net.const(0)
+
+    def test_double_negation_cancelled(self):
+        net = LogicNetwork()
+        a = net.add_input("a")
+        assert net.not_(net.not_(a)) == a
+
+    def test_const_constants_fold(self):
+        net = LogicNetwork()
+        assert net.and_(net.const(1), net.const(1)) == net.const(1)
+        assert net.or_(net.const(0), net.const(0)) == net.const(0)
+
+    def test_unknown_node_id_rejected(self):
+        net = LogicNetwork()
+        with pytest.raises(ValueError):
+            net.set_output("f", 99)
+
+    def test_tree_empty_values(self):
+        net = LogicNetwork()
+        assert net.and_tree([]) == net.const(1)
+        assert net.or_tree([]) == net.const(0)
+
+    def test_tree_single_term_is_passthrough(self):
+        net = LogicNetwork()
+        a = net.add_input("a")
+        assert net.and_tree([a]) == a
+
+
+class TestEvaluation:
+    def build_majority(self):
+        net = LogicNetwork()
+        a, b, c = (net.add_input(x) for x in "abc")
+        net.set_output(
+            "maj",
+            net.or_tree([net.and_(a, b), net.and_(b, c), net.and_(a, c)]),
+        )
+        return net
+
+    def test_majority_function(self):
+        net = self.build_majority()
+        for m in range(8):
+            vals = {"a": m & 1, "b": (m >> 1) & 1, "c": (m >> 2) & 1}
+            expected = 1 if bin(m).count("1") >= 2 else 0
+            assert net.evaluate(vals)["maj"] == expected
+
+    def test_missing_input_raises(self):
+        net = self.build_majority()
+        with pytest.raises(KeyError):
+            net.evaluate({"a": 1, "b": 0})
+
+    def test_mux_semantics(self):
+        net = LogicNetwork()
+        s, x, y = (net.add_input(n) for n in "sxy")
+        net.set_output("m", net.mux(s, x, y))
+        assert net.evaluate({"s": 0, "x": 1, "y": 0})["m"] == 1
+        assert net.evaluate({"s": 1, "x": 1, "y": 0})["m"] == 0
+        assert net.evaluate({"s": 1, "x": 0, "y": 1})["m"] == 1
+
+    def test_xor_gate(self):
+        net = LogicNetwork()
+        a, b = net.add_input("a"), net.add_input("b")
+        net.set_output("x", net.xor_(a, b))
+        assert net.evaluate({"a": 1, "b": 0})["x"] == 1
+        assert net.evaluate({"a": 1, "b": 1})["x"] == 0
+
+
+class TestStructure:
+    def test_balanced_tree_depth(self):
+        net = LogicNetwork()
+        terms = [net.add_input(f"i{k}") for k in range(8)]
+        root = net.and_tree(terms)
+        net.set_output("f", root)
+        assert net.depth() == 3  # log2(8)
+
+    def test_gate_count_ignores_dead_logic(self):
+        net = LogicNetwork()
+        a, b = net.add_input("a"), net.add_input("b")
+        net.and_(a, b)              # dead gate
+        net.set_output("f", net.or_(a, b))
+        assert net.gate_count() == 1
+
+    def test_fanout_counts(self):
+        net = LogicNetwork()
+        a, b = net.add_input("a"), net.add_input("b")
+        g = net.and_(a, b)
+        net.set_output("f", net.or_(g, a))
+        counts = net.fanout_counts()
+        assert counts[a] == 2  # AND + OR
+        assert counts[g] == 1
+
+    def test_remove_output(self):
+        net = LogicNetwork()
+        a = net.add_input("a")
+        net.set_output("f", a)
+        net.remove_output("f")
+        assert "f" not in net.outputs
+
+    def test_topological_order_respects_fanins(self):
+        net = LogicNetwork()
+        a, b = net.add_input("a"), net.add_input("b")
+        g = net.and_(a, b)
+        h = net.or_(g, a)
+        order = net.topological_order()
+        assert order.index(g) < order.index(h)
+
+
+class TestSopToNetwork:
+    def test_single_cover(self):
+        cover = Cover.from_strings(["1-", "01"])
+        net = sop_to_network({"f": cover}, ["a", "b"])
+        for m in range(4):
+            vals = {"a": m & 1, "b": (m >> 1) & 1}
+            assert net.evaluate(vals)["f"] == (1 if cover.evaluate(m) else 0)
+
+    def test_empty_cover_is_constant_zero(self):
+        net = sop_to_network({"f": Cover.empty(2)}, ["a", "b"])
+        assert net.evaluate({"a": 1, "b": 1})["f"] == 0
+
+    def test_universe_cover_is_constant_one(self):
+        net = sop_to_network({"f": Cover.universe(2)}, ["a", "b"])
+        assert net.evaluate({"a": 0, "b": 0})["f"] == 1
+
+    def test_multiple_outputs_share_products(self):
+        cover = Cover.from_strings(["11"])
+        net = sop_to_network({"f": cover, "g": cover}, ["a", "b"])
+        assert net.outputs["f"] == net.outputs["g"]
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sop_to_network({"f": Cover.empty(3)}, ["a", "b"])
+
+    def test_extends_existing_network(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        result = sop_to_network(
+            {"f": Cover.from_strings(["1-"])}, ["a", "b"], network=net
+        )
+        assert result is net
+        assert "f" in net.outputs
+
+    def test_negative_literals(self):
+        cover = Cover.from_strings(["00"])
+        net = sop_to_network({"f": cover}, ["a", "b"])
+        assert net.evaluate({"a": 0, "b": 0})["f"] == 1
+        assert net.evaluate({"a": 1, "b": 0})["f"] == 0

@@ -1,0 +1,124 @@
+"""Unit tests for the packed truth-table representation."""
+
+import pytest
+
+from repro.logic.truthtable import TruthTable
+
+
+class TestConstruction:
+    def test_from_function_and(self):
+        tt = TruthTable.from_function(2, lambda a, b: a & b)
+        assert tt.output_column() == [0, 0, 0, 1]
+
+    def test_from_outputs(self):
+        tt = TruthTable.from_outputs([0, 1, 1, 0])
+        assert tt == TruthTable.from_function(2, lambda a, b: a ^ b)
+
+    def test_from_outputs_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_outputs([0, 1, 1])
+
+    def test_constant(self):
+        assert TruthTable.constant(3, 1).ones_count() == 8
+        assert TruthTable.constant(3, 0).ones_count() == 0
+
+    def test_variable_projection(self):
+        tt = TruthTable.variable(3, 1)
+        for m in range(8):
+            assert tt.evaluate(m) == (m >> 1) & 1
+
+    def test_bits_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 0b10000)
+
+    def test_too_many_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(25, 0)
+
+
+class TestInspection:
+    def test_is_constant(self):
+        assert TruthTable.constant(2, 1).is_constant()
+        assert not TruthTable.variable(2, 0).is_constant()
+
+    def test_depends_on(self):
+        tt = TruthTable.from_function(3, lambda a, b, c: a & c)
+        assert tt.depends_on(0)
+        assert not tt.depends_on(1)
+        assert tt.depends_on(2)
+
+    def test_support(self):
+        tt = TruthTable.from_function(4, lambda a, b, c, d: b ^ d)
+        assert tt.support() == [1, 3]
+
+    def test_ones_count(self):
+        tt = TruthTable.from_function(3, lambda a, b, c: a | b)
+        assert tt.ones_count() == 6
+
+
+class TestCofactor:
+    def test_cofactor_reduces_arity(self):
+        tt = TruthTable.from_function(3, lambda a, b, c: a & (b | c))
+        cf = tt.cofactor(0, 1)
+        assert cf.n_inputs == 2
+        assert cf == TruthTable.from_function(2, lambda b, c: b | c)
+
+    def test_cofactor_zero_branch(self):
+        tt = TruthTable.from_function(2, lambda a, b: a | b)
+        assert tt.cofactor(0, 0) == TruthTable.from_function(1, lambda b: b)
+
+    def test_cofactor_middle_variable(self):
+        tt = TruthTable.from_function(3, lambda a, b, c: b)
+        assert tt.cofactor(1, 1) == TruthTable.constant(2, 1)
+        assert tt.cofactor(1, 0) == TruthTable.constant(2, 0)
+
+    def test_cofactor_bad_var(self):
+        with pytest.raises(ValueError):
+            TruthTable.constant(2, 0).cofactor(2, 0)
+
+    def test_shannon_reconstruction(self):
+        tt = TruthTable.from_function(3, lambda a, b, c: (a & b) ^ c)
+        f0 = tt.cofactor(2, 0)
+        f1 = tt.cofactor(2, 1)
+        for m in range(8):
+            c = (m >> 2) & 1
+            sub = m & 0b11
+            expected = f1.evaluate(sub) if c else f0.evaluate(sub)
+            assert tt.evaluate(m) == expected
+
+    def test_shrink_to_support(self):
+        tt = TruthTable.from_function(4, lambda a, b, c, d: a ^ d)
+        shrunk, kept = tt.shrink_to_support()
+        assert kept == [0, 3]
+        assert shrunk == TruthTable.from_function(2, lambda a, d: a ^ d)
+
+    def test_shrink_full_support_is_identity(self):
+        tt = TruthTable.from_function(2, lambda a, b: a & b)
+        shrunk, kept = tt.shrink_to_support()
+        assert shrunk is tt
+        assert kept == [0, 1]
+
+
+class TestAlgebra:
+    def test_invert(self):
+        tt = TruthTable.from_function(2, lambda a, b: a & b)
+        assert ~tt == TruthTable.from_function(2, lambda a, b: 1 - (a & b))
+
+    def test_and_or_xor(self):
+        a = TruthTable.variable(2, 0)
+        b = TruthTable.variable(2, 1)
+        assert (a & b) == TruthTable.from_function(2, lambda x, y: x & y)
+        assert (a | b) == TruthTable.from_function(2, lambda x, y: x | y)
+        assert (a ^ b) == TruthTable.from_function(2, lambda x, y: x ^ y)
+
+    def test_binary_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            TruthTable.constant(2, 1) & TruthTable.constant(3, 1)
+
+    def test_de_morgan(self):
+        a = TruthTable.variable(3, 0)
+        b = TruthTable.variable(3, 2)
+        assert ~(a & b) == (~a | ~b)
+
+    def test_repr_is_stable(self):
+        assert "TruthTable(2" in repr(TruthTable.constant(2, 1))

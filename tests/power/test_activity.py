@@ -1,0 +1,115 @@
+"""Unit tests for switching-activity extraction."""
+
+import pytest
+
+from repro.fsm.kiss import parse_kiss
+from repro.fsm.simulate import random_stimulus
+from repro.power.activity import extract_ff_activity, extract_rom_activity
+from repro.romfsm.mapper import map_fsm_to_rom
+from repro.synth.ff_synth import synthesize_ff
+from repro.synth.netsim import simulate_ff_netlist
+
+DETECTOR = """
+.i 1
+.o 1
+.r A
+0 A B 0
+1 A A 0
+0 B B 0
+1 B C 0
+0 C D 0
+1 C A 0
+0 D B 0
+1 D C 1
+"""
+
+
+@pytest.fixture(scope="module")
+def fsm():
+    return parse_kiss(DETECTOR, "det")
+
+
+@pytest.fixture(scope="module")
+def stim(fsm):
+    return random_stimulus(fsm.num_inputs, 500, seed=13)
+
+
+class TestFfActivity:
+    def test_every_live_net_reported_once(self, fsm, stim):
+        impl = synthesize_ff(fsm)
+        activity = extract_ff_activity(impl, simulate_ff_netlist(impl, stim))
+        names = [n.name for n in activity.nets]
+        assert len(names) == len(set(names))
+        assert "in0" in names
+
+    def test_fanouts_positive(self, fsm, stim):
+        impl = synthesize_ff(fsm)
+        activity = extract_ff_activity(impl, simulate_ff_netlist(impl, stim))
+        assert all(n.fanout >= 1 for n in activity.nets)
+
+    def test_activities_bounded_by_one(self, fsm, stim):
+        impl = synthesize_ff(fsm)
+        activity = extract_ff_activity(impl, simulate_ff_netlist(impl, stim))
+        assert all(0.0 <= n.toggles_per_cycle <= 1.0 for n in activity.nets)
+
+    def test_lut_activity_subset_of_nets(self, fsm, stim):
+        impl = synthesize_ff(fsm)
+        activity = extract_ff_activity(impl, simulate_ff_netlist(impl, stim))
+        net_names = {n.name for n in activity.nets}
+        assert set(activity.lut_output_activity) <= net_names
+        assert len(activity.lut_output_activity) == impl.num_luts
+
+    def test_io_activity_positive_for_toggling_input(self, fsm, stim):
+        impl = synthesize_ff(fsm)
+        activity = extract_ff_activity(impl, simulate_ff_netlist(impl, stim))
+        assert activity.io_activity > 0
+
+
+class TestRomActivity:
+    def test_geometry_reported(self, fsm, stim):
+        impl = map_fsm_to_rom(fsm)
+        activity = extract_rom_activity(impl, impl.run(stim))
+        assert activity.addr_bits_used == impl.layout.addr_bits
+        assert activity.data_bits_used == impl.layout.data_bits
+        assert activity.num_brams == 1
+
+    def test_state_feedback_nets_present(self, fsm, stim):
+        impl = map_fsm_to_rom(fsm)
+        activity = extract_rom_activity(impl, impl.run(stim))
+        names = {n.name for n in activity.nets}
+        # Data word: 1 output bit (q0) + 2 state bits (q1, q2).
+        assert {"q0", "q1", "q2"} <= names
+
+    def test_no_lut_activity_without_aux_logic(self, fsm, stim):
+        impl = map_fsm_to_rom(fsm)
+        activity = extract_rom_activity(impl, impl.run(stim))
+        assert activity.lut_output_activity == {}
+
+    def test_mux_nets_appear_under_compaction(self, fsm, stim):
+        impl = map_fsm_to_rom(fsm, force_compaction=True)
+        activity = extract_rom_activity(impl, impl.run(stim))
+        assert len(activity.lut_output_activity) == impl.num_luts
+
+    def test_control_nets_appear_with_clock_control(self, fsm, stim):
+        impl = map_fsm_to_rom(fsm, clock_control=True)
+        activity = extract_rom_activity(impl, impl.run(stim))
+        assert any(name.startswith("ctl:") for name in
+                   activity.lut_output_activity)
+
+    def test_enable_duty_forwarded(self, fsm):
+        from repro.fsm.simulate import idle_biased_stimulus
+
+        impl = map_fsm_to_rom(fsm, clock_control=True)
+        idle_stim = idle_biased_stimulus(fsm, 500, 0.6, seed=3)
+        activity = extract_rom_activity(impl, impl.run(idle_stim))
+        assert activity.enable_duty < 1.0
+
+    def test_io_activity_matches_ff_side(self, fsm, stim):
+        """Both implementations drive identical pin streams."""
+        ff = synthesize_ff(fsm)
+        rom = map_fsm_to_rom(fsm)
+        ff_act = extract_ff_activity(ff, simulate_ff_netlist(ff, stim))
+        rom_act = extract_rom_activity(rom, rom.run(stim))
+        assert rom_act.io_activity == pytest.approx(
+            ff_act.io_activity, abs=0.01
+        )

@@ -1,0 +1,65 @@
+"""Unit tests for the power-model parameter set."""
+
+import pytest
+
+from repro.power.params import VIRTEX2_PARAMS, PowerParams
+
+
+class TestEnergyMath:
+    def test_energy_is_half_cv2(self):
+        params = PowerParams(voltage=2.0)
+        assert params.energy_pj(3.0) == pytest.approx(0.5 * 3.0 * 4.0)
+
+    def test_energy_scales_with_toggles(self):
+        params = VIRTEX2_PARAMS
+        assert params.energy_pj(1.0, 2.0) == pytest.approx(
+            2 * params.energy_pj(1.0, 1.0)
+        )
+
+    def test_power_units(self):
+        # 100 pJ/cycle at 100 MHz = 10 mW.
+        assert VIRTEX2_PARAMS.power_mw(100.0, 100.0) == pytest.approx(10.0)
+
+    def test_zero_frequency_zero_power(self):
+        assert VIRTEX2_PARAMS.power_mw(50.0, 0.0) == 0.0
+
+
+class TestBramEdgeEnergy:
+    def test_disabled_edge_cheaper_than_enabled(self):
+        p = VIRTEX2_PARAMS
+        assert p.bram_edge_energy_pj(10, 8, False) < \
+            p.bram_edge_energy_pj(10, 8, True)
+
+    def test_monotone_in_address_bits(self):
+        p = VIRTEX2_PARAMS
+        assert p.bram_edge_energy_pj(12, 8, True) > \
+            p.bram_edge_energy_pj(6, 8, True)
+
+    def test_monotone_in_data_bits(self):
+        p = VIRTEX2_PARAMS
+        assert p.bram_edge_energy_pj(8, 18, True) > \
+            p.bram_edge_energy_pj(8, 4, True)
+
+    def test_disabled_energy_independent_of_geometry(self):
+        p = VIRTEX2_PARAMS
+        assert p.bram_edge_energy_pj(14, 36, False) == \
+            p.bram_edge_energy_pj(6, 1, False)
+
+    def test_bram_edge_dwarfs_ff_clock(self):
+        """Paper section 6: clocking a BRAM costs far more than an FF."""
+        p = VIRTEX2_PARAMS
+        bram = p.bram_edge_energy_pj(10, 8, True)
+        ff = p.energy_pj(p.c_ff_clk_pf)
+        assert bram > 10 * ff
+
+
+class TestCalibration:
+    def test_default_instance_is_frozen(self):
+        with pytest.raises(Exception):
+            VIRTEX2_PARAMS.voltage = 3.3
+
+    def test_virtex2_core_voltage(self):
+        assert VIRTEX2_PARAMS.voltage == pytest.approx(1.5)
+
+    def test_interconnect_model_attached(self):
+        assert VIRTEX2_PARAMS.interconnect.net_capacitance_pf(1) > 0

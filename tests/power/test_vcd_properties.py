@@ -1,0 +1,42 @@
+"""Property-based tests: VCD serialization is lossless."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.vcd import parse_vcd, vcd_toggle_counts, write_vcd
+
+
+def columns_strategy():
+    length = st.shared(st.integers(min_value=1, max_value=40), key="len")
+    return st.dictionaries(
+        keys=st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True),
+        values=length.flatmap(
+            lambda n: st.lists(
+                st.integers(min_value=0, max_value=1),
+                min_size=n, max_size=n,
+            )
+        ),
+        min_size=1,
+        max_size=8,
+    )
+
+
+@given(columns_strategy())
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_is_lossless(columns):
+    assert parse_vcd(write_vcd(columns)) == columns
+
+
+@given(columns_strategy())
+@settings(max_examples=60, deadline=None)
+def test_toggle_counts_match_direct_computation(columns):
+    via_vcd = vcd_toggle_counts(write_vcd(columns))
+    for name, column in columns.items():
+        direct = sum(1 for a, b in zip(column, column[1:]) if a != b)
+        assert via_vcd[name] == direct
+
+
+@given(columns_strategy(), st.integers(min_value=1, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_timescale_does_not_affect_semantics(columns, timescale):
+    assert parse_vcd(write_vcd(columns, timescale_ns=timescale)) == columns

@@ -1,0 +1,123 @@
+"""Unit tests for the idle-state clock-control (enable) logic."""
+
+import pytest
+
+from repro.fsm.encoding import binary_encoding
+from repro.fsm.kiss import parse_kiss
+from repro.fsm.machine import FSM
+from repro.fsm.simulate import FsmSimulator, idle_biased_stimulus, random_stimulus
+from repro.romfsm.clock_control import synthesize_clock_control
+from repro.romfsm.mapper import map_fsm_to_rom
+
+DETECTOR = """
+.i 1
+.o 1
+.r A
+0 A B 0
+1 A A 0
+0 B B 0
+1 B C 0
+0 C D 0
+1 C A 0
+0 D B 0
+1 D C 1
+"""
+
+
+def idle_machine():
+    """A machine with obvious idle opportunities in every state."""
+    fsm = FSM("idle", 2, 1, ["A", "B"], "A")
+    fsm.add("A", "0-", "A", "0")   # hold
+    fsm.add("A", "1-", "B", "1")
+    fsm.add("B", "-0", "B", "1")   # hold with repeated output
+    fsm.add("B", "-1", "A", "0")
+    return fsm
+
+
+class TestEnableSemantics:
+    def test_en_low_exactly_on_idle_steps(self):
+        fsm = idle_machine()
+        encoding = binary_encoding(fsm)
+        cc = synthesize_clock_control(fsm, encoding, outputs_in_rom=True,
+                                      max_idle_cubes=0)
+        # Walk the machine and compare EN against ground truth.
+        state, latched = fsm.reset_state, 0
+        for input_bits in random_stimulus(2, 300, seed=4):
+            nxt, out = fsm.step(state, input_bits)
+            truly_idle = nxt == state and out == latched
+            en = cc.evaluate(encoding.encode(state), input_bits, latched)
+            assert en == (0 if truly_idle else 1)
+            state, latched = nxt, out
+
+    def test_budgeted_cover_is_under_approximation(self):
+        """A budgeted detector may miss idles but never freezes a live step."""
+        fsm = parse_kiss(DETECTOR, "det")
+        encoding = binary_encoding(fsm)
+        cc = synthesize_clock_control(fsm, encoding, outputs_in_rom=True,
+                                      max_idle_cubes=1)
+        state, latched = fsm.reset_state, 0
+        for input_bits in random_stimulus(1, 300, seed=5):
+            nxt, out = fsm.step(state, input_bits)
+            truly_idle = nxt == state and out == latched
+            en = cc.evaluate(encoding.encode(state), input_bits, latched)
+            if en == 0:
+                assert truly_idle, "EN deasserted on a live transition"
+            state, latched = nxt, out
+
+    def test_budget_limits_area(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        encoding = binary_encoding(fsm)
+        tight = synthesize_clock_control(fsm, encoding, True, max_idle_cubes=1)
+        exact = synthesize_clock_control(fsm, encoding, True, max_idle_cubes=0)
+        assert tight.num_luts <= exact.num_luts
+
+    def test_moore_external_skips_output_compare(self):
+        fsm = FSM("mm", 1, 2, ["A", "B"], "A")
+        fsm.add("A", "0", "A", "00")
+        fsm.add("A", "1", "B", "00")
+        fsm.add("B", "-", "A", "11")
+        cc = synthesize_clock_control(
+            fsm, binary_encoding(fsm), outputs_in_rom=False
+        )
+        assert not cc.compares_outputs
+
+    def test_mealy_in_rom_compares_outputs(self):
+        fsm = idle_machine()
+        cc = synthesize_clock_control(
+            fsm, binary_encoding(fsm), outputs_in_rom=True
+        )
+        assert cc.compares_outputs
+
+    def test_idle_cover_retained_for_vhdl(self):
+        fsm = idle_machine()
+        cc = synthesize_clock_control(fsm, binary_encoding(fsm), True)
+        assert cc.idle_cover is not None
+        assert len(cc.idle_cover) >= 1
+
+
+class TestEndToEndWithClockControl:
+    @pytest.mark.parametrize("idle_fraction", [0.0, 0.3, 0.7])
+    def test_behaviour_preserved_at_any_idle_level(self, idle_fraction):
+        fsm = idle_machine()
+        impl = map_fsm_to_rom(fsm, clock_control=True)
+        stim = idle_biased_stimulus(fsm, 600, idle_fraction, seed=6)
+        ref = FsmSimulator(fsm).run(stim)
+        trace = impl.run(stim)
+        assert trace.output_stream == ref.outputs
+        assert trace.state_stream == ref.states
+
+    def test_enable_duty_tracks_idleness(self):
+        fsm = idle_machine()
+        impl = map_fsm_to_rom(fsm, clock_control=True)
+        busy = impl.run(idle_biased_stimulus(fsm, 600, 0.0, seed=1))
+        lazy = impl.run(idle_biased_stimulus(fsm, 600, 0.8, seed=1))
+        assert lazy.enable_duty < busy.enable_duty
+
+    def test_duty_complements_detected_idle(self):
+        fsm = idle_machine()
+        impl = map_fsm_to_rom(fsm, clock_control=True, max_idle_cubes=0)
+        stim = idle_biased_stimulus(fsm, 800, 0.5, seed=2)
+        achieved = FsmSimulator(fsm).run(stim).idle_fraction()
+        trace = impl.run(stim)
+        # With the exact cover, EN duty == 1 - idle fraction.
+        assert trace.enable_duty == pytest.approx(1.0 - achieved, abs=0.01)

@@ -1,0 +1,120 @@
+"""Unit tests for column compaction and the input multiplexer."""
+
+import pytest
+
+from repro.fsm.encoding import binary_encoding
+from repro.fsm.machine import FSM
+from repro.romfsm.compaction import ColumnCompaction, compact_columns
+
+
+def dc_machine():
+    """Per-state care columns: A->{0}, B->{1,3}, C->{} (pure don't care)."""
+    fsm = FSM("dc", 4, 1, ["A", "B", "C"], "A")
+    fsm.add("A", "1---", "B", "0")
+    fsm.add("A", "0---", "A", "0")
+    fsm.add("B", "-1-1", "C", "1")
+    fsm.add("B", "-1-0", "A", "0")
+    fsm.add("B", "-0--", "B", "0")
+    fsm.add("C", "----", "A", "0")
+    return fsm
+
+
+class TestCompactColumns:
+    def test_care_columns_per_state(self):
+        compaction = compact_columns(dc_machine())
+        assert compaction.columns_for("A") == (0,)
+        assert compaction.columns_for("B") == (1, 3)
+        assert compaction.columns_for("C") == ()
+
+    def test_width_is_max_over_states(self):
+        assert compact_columns(dc_machine()).width == 2
+
+    def test_saves_bits(self):
+        compaction = compact_columns(dc_machine())
+        assert compaction.saves_bits  # 2 < 4
+
+    def test_dense_machine_saves_nothing(self):
+        fsm = FSM("dense", 2, 1, ["A"], "A")
+        fsm.add("A", "00", "A", "0")
+        fsm.add("A", "01", "A", "0")
+        fsm.add("A", "10", "A", "0")
+        fsm.add("A", "11", "A", "1")
+        compaction = compact_columns(fsm)
+        assert compaction.width == 2
+        assert not compaction.saves_bits
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(KeyError):
+            compact_columns(dc_machine()).columns_for("Z")
+
+
+class TestCompactInput:
+    def test_projects_care_columns(self):
+        compaction = compact_columns(dc_machine())
+        # B reads columns 1 and 3: input 0b1010 -> bits (1, 1).
+        assert compaction.compact_input("B", 0b1010) == 0b11
+        assert compaction.compact_input("B", 0b0010) == 0b01
+        assert compaction.compact_input("B", 0b0000) == 0b00
+
+    def test_single_column_state(self):
+        compaction = compact_columns(dc_machine())
+        assert compaction.compact_input("A", 0b0001) == 1
+        assert compaction.compact_input("A", 0b1110) == 0
+
+    def test_careless_state_always_zero(self):
+        compaction = compact_columns(dc_machine())
+        assert compaction.compact_input("C", 0b1111) == 0
+
+    def test_expansion_count(self):
+        compaction = compact_columns(dc_machine())
+        assert compaction.expansion_count("A") == 1
+        assert compaction.expansion_count("B") == 0
+        assert compaction.expansion_count("C") == 2
+
+
+class TestMuxNetwork:
+    def test_mux_matches_compaction_semantics(self):
+        """The mapped mux must equal compact_input for every encoded state."""
+        fsm = dc_machine()
+        compaction = compact_columns(fsm)
+        encoding = binary_encoding(fsm)
+        mapping = compaction.build_mux_network(encoding)
+        for state in fsm.states:
+            code = encoding.encode(state)
+            for input_bits in range(1 << fsm.num_inputs):
+                values = {
+                    encoding.bit_name(b): (code >> b) & 1
+                    for b in range(encoding.width)
+                }
+                values.update(
+                    {f"in{i}": (input_bits >> i) & 1 for i in range(4)}
+                )
+                outs = mapping.evaluate(values)
+                got = 0
+                for j in range(compaction.width):
+                    if outs[f"mux{j}"]:
+                        got |= 1 << j
+                want = compaction.compact_input(state, input_bits)
+                # Unused positions are tie-off; mask them for comparison.
+                used = (1 << len(compaction.columns_for(state))) - 1
+                assert got & used == want & used
+
+    def test_shared_column_becomes_wire(self):
+        """When every state reads the same column, no LUTs are needed."""
+        fsm = FSM("wire", 2, 1, ["A", "B"], "A")
+        fsm.add("A", "1-", "B", "0")
+        fsm.add("A", "0-", "A", "0")
+        fsm.add("B", "1-", "A", "1")
+        fsm.add("B", "0-", "B", "0")
+        compaction = compact_columns(fsm)
+        encoding = binary_encoding(fsm)
+        mapping = compaction.build_mux_network(encoding)
+        assert mapping.num_luts == 0
+        assert mapping.outputs["mux0"] == "in0"
+
+    def test_mux_cost_is_modest(self):
+        fsm = dc_machine()
+        compaction = compact_columns(fsm)
+        mapping = compaction.build_mux_network(binary_encoding(fsm))
+        # Two positions, at most a select LUT and a small mux tree each.
+        assert mapping.num_luts <= 6

@@ -1,0 +1,204 @@
+"""Unit tests for ROM content generation, incl. the paper's Fig. 2 example."""
+
+import pytest
+
+from repro.fsm.encoding import binary_encoding
+from repro.fsm.kiss import parse_kiss
+from repro.fsm.machine import FSM, FsmError
+from repro.fsm.encoding import StateEncoding
+from repro.romfsm.compaction import compact_columns
+from repro.romfsm.contents import RomLayout, generate_contents
+
+DETECTOR = """
+.i 1
+.o 1
+.r A
+0 A B 0
+1 A A 0
+0 B B 0
+1 B C 0
+0 C D 0
+1 C A 0
+0 D B 0
+1 D C 1
+"""
+
+
+class TestRomLayout:
+    def test_derived_dimensions(self):
+        layout = RomLayout(input_bits=1, state_bits=2, output_bits=1)
+        assert layout.addr_bits == 3
+        assert layout.data_bits == 3
+        assert layout.depth == 8
+
+    def test_address_packing_inputs_at_lsb(self):
+        """Paper Fig. 2b: A0 is the FSM input, A2-A1 the state bits."""
+        layout = RomLayout(input_bits=1, state_bits=2, output_bits=1)
+        assert layout.make_address(state_code=0b10, input_value=1) == 0b101
+
+    def test_word_packing_outputs_at_lsb(self):
+        """Paper Fig. 2b: D0 is the output, D2-D1 the next state."""
+        layout = RomLayout(input_bits=1, state_bits=2, output_bits=1)
+        assert layout.make_word(next_code=0b01, outputs=1) == 0b011
+
+    def test_split_inverts_make(self):
+        layout = RomLayout(input_bits=3, state_bits=4, output_bits=2)
+        addr = layout.make_address(0b1010, 0b011)
+        assert layout.split_address(addr) == (0b1010, 0b011)
+        word = layout.make_word(0b0110, 0b10)
+        assert layout.split_word(word) == (0b0110, 0b10)
+
+    def test_no_output_bits_layout(self):
+        layout = RomLayout(input_bits=2, state_bits=3, output_bits=0)
+        word = layout.make_word(0b101, 0)
+        assert layout.split_word(word) == (0b101, 0)
+
+    def test_width_overflow_rejected(self):
+        layout = RomLayout(input_bits=1, state_bits=2, output_bits=1)
+        with pytest.raises(ValueError):
+            layout.make_address(0b100, 0)
+        with pytest.raises(ValueError):
+            layout.make_address(0, 2)
+        with pytest.raises(ValueError):
+            layout.make_word(0, 2)
+
+
+class TestPaperWorkedExample:
+    """Reproduce the 0101 sequence detector of paper Fig. 2a/2b."""
+
+    def contents(self):
+        fsm = parse_kiss(DETECTOR, "seq0101")
+        encoding = binary_encoding(fsm)
+        layout = RomLayout(input_bits=1, state_bits=2, output_bits=1)
+        return fsm, encoding, generate_contents(fsm, encoding, layout)
+
+    def test_initial_location_holds_state_b(self):
+        """Address 000 (state A, input 0) must transition to B.
+
+        "memory location 000 ... is programmed with an encoded value of
+        state A ... the contents of which is 010, which is the memory
+        location for the next state, B" (paper section 4.2).
+        """
+        fsm, encoding, words = self.contents()
+        assert words[0b000] == (encoding.encode("B") << 1) | 0
+
+    def test_detection_word_sets_output_bit(self):
+        fsm, encoding, words = self.contents()
+        d_code = encoding.encode("D")
+        addr = (d_code << 1) | 1          # state D, input 1
+        next_code, out = words[addr] >> 1, words[addr] & 1
+        assert next_code == encoding.encode("C")
+        assert out == 1
+
+    def test_every_address_is_programmed(self):
+        fsm, encoding, words = self.contents()
+        assert len(words) == 8
+        # Every word's state field decodes to a real state.
+        for word in words:
+            assert encoding.has_code(word >> 1)
+
+    def test_feedback_walk_follows_stg(self):
+        """Replaying the paper's address-feedback walk detects 0101."""
+        fsm, encoding, words = self.contents()
+        latch = 0
+        outputs = []
+        for bit in [0, 1, 0, 1]:
+            state_code = latch >> 1
+            latch = words[(state_code << 1) | bit]
+            outputs.append(latch & 1)
+        assert outputs == [0, 0, 0, 1]
+
+
+class TestHoldSemantics:
+    def test_unspecified_addresses_hold_state(self):
+        fsm = FSM("inc", 1, 1, ["A", "B"], "A")
+        fsm.add("A", "1", "B", "1")
+        fsm.add("B", "0", "A", "0")
+        encoding = binary_encoding(fsm)
+        layout = RomLayout(input_bits=1, state_bits=1, output_bits=1)
+        words = generate_contents(fsm, encoding, layout)
+        # (A, 0) unspecified -> stay in A with output 0.
+        assert words[layout.make_address(encoding.encode("A"), 0)] == \
+            layout.make_word(encoding.encode("A"), 0)
+
+    def test_unused_codes_hold_word_zero(self):
+        fsm = FSM("three", 1, 1, ["A", "B", "C"], "A")
+        for s in fsm.states:
+            fsm.add(s, "-", "A", "0")
+        encoding = binary_encoding(fsm)
+        layout = RomLayout(input_bits=1, state_bits=2, output_bits=1)
+        words = generate_contents(fsm, encoding, layout)
+        for inp in (0, 1):
+            assert words[layout.make_address(3, inp)] == 0
+
+
+class TestValidation:
+    def test_reset_must_be_code_zero(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        encoding = binary_encoding(fsm, reset_code=1)
+        layout = RomLayout(input_bits=1, state_bits=2, output_bits=1)
+        with pytest.raises(FsmError):
+            generate_contents(fsm, encoding, layout)
+
+    def test_layout_input_width_checked(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        encoding = binary_encoding(fsm)
+        layout = RomLayout(input_bits=2, state_bits=2, output_bits=1)
+        with pytest.raises(FsmError):
+            generate_contents(fsm, encoding, layout)
+
+    def test_layout_state_width_checked(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        encoding = binary_encoding(fsm)
+        layout = RomLayout(input_bits=1, state_bits=3, output_bits=1)
+        with pytest.raises(FsmError):
+            generate_contents(fsm, encoding, layout)
+
+    def test_foreign_compaction_rejected(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        other = FSM("other", 3, 1, ["X"], "X")
+        other.add("X", "---", "X", "0")
+        compaction = compact_columns(other)
+        encoding = binary_encoding(fsm)
+        layout = RomLayout(input_bits=0, state_bits=2, output_bits=1)
+        with pytest.raises(FsmError):
+            generate_contents(fsm, encoding, layout, compaction)
+
+
+class TestCompactedContents:
+    def test_projection_classes_share_words(self):
+        fsm = FSM("c", 3, 1, ["A", "B"], "A")
+        fsm.add("A", "1--", "B", "1")   # A cares about column 0 only
+        fsm.add("A", "0--", "A", "0")
+        fsm.add("B", "-1-", "A", "0")   # B cares about column 1 only
+        fsm.add("B", "-0-", "B", "1")
+        compaction = compact_columns(fsm)
+        assert compaction.width == 1
+        encoding = binary_encoding(fsm)
+        layout = RomLayout(input_bits=1, state_bits=1, output_bits=1)
+        words = generate_contents(fsm, encoding, layout, compaction)
+        a, b = encoding.encode("A"), encoding.encode("B")
+        assert words[layout.make_address(a, 1)] == layout.make_word(b, 1)
+        assert words[layout.make_address(a, 0)] == layout.make_word(a, 0)
+        assert words[layout.make_address(b, 1)] == layout.make_word(a, 0)
+        assert words[layout.make_address(b, 0)] == layout.make_word(b, 1)
+
+    def test_unused_positions_replicated(self):
+        fsm = FSM("r", 2, 1, ["A", "B"], "A")
+        fsm.add("A", "1-", "B", "1")    # A cares about one column
+        fsm.add("A", "0-", "A", "0")
+        fsm.add("B", "11", "A", "0")    # B cares about two columns
+        fsm.add("B", "10", "B", "0")
+        fsm.add("B", "0-", "B", "1")
+        compaction = compact_columns(fsm)
+        assert compaction.width == 2
+        encoding = binary_encoding(fsm)
+        layout = RomLayout(input_bits=2, state_bits=1, output_bits=1)
+        words = generate_contents(fsm, encoding, layout, compaction)
+        a = encoding.encode("A")
+        # A uses only compacted position 0; position 1 is replicated.
+        for hi in (0, 1):
+            assert words[layout.make_address(a, 0b00 | (hi << 1))] == \
+                words[layout.make_address(a, 0b00)]
+            assert words[layout.make_address(a, 0b01 | (hi << 1))] == \
+                words[layout.make_address(a, 0b01)]

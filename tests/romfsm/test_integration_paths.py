@@ -1,0 +1,96 @@
+"""Cross-module integration paths not covered by the main flows."""
+
+import pytest
+
+from repro.fsm.kiss import format_kiss, parse_kiss
+from repro.fsm.machine import FSM
+from repro.fsm.simulate import FsmSimulator, random_stimulus
+from repro.fsm.transform import mealy_to_moore
+from repro.romfsm.mapper import map_fsm_to_rom
+from repro.synth.ff_synth import synthesize_ff
+
+DETECTOR = """
+.i 1
+.o 1
+.r A
+0 A B 0
+1 A A 0
+0 B B 0
+1 B C 0
+0 C D 0
+1 C A 0
+0 D B 0
+1 D C 1
+"""
+
+
+class TestMealyToMooreToRom:
+    def test_converted_machine_maps_with_external_outputs(self):
+        """The paper's §4.2 pipeline: 'A Mealy machine can be transformed
+        into a Moore machine, if the outputs are to be implemented using
+        the LUTs.'"""
+        mealy = parse_kiss(DETECTOR, "det")
+        moore = mealy_to_moore(mealy)
+        impl = map_fsm_to_rom(moore, moore_outputs="external")
+        assert impl.moore_output_mapping is not None
+        assert impl.layout.output_bits == 0
+        # Behaviour: the Moore stream is the delayed Mealy stream.
+        stim = random_stimulus(1, 400, seed=41)
+        mealy_out = FsmSimulator(mealy).run(stim).outputs
+        trace = impl.run(stim)
+        assert trace.output_stream[1:] == mealy_out[:-1]
+
+    def test_converted_machine_through_ff_flow(self):
+        mealy = parse_kiss(DETECTOR, "det")
+        moore = mealy_to_moore(mealy)
+        impl = synthesize_ff(moore)
+        stim = random_stimulus(1, 300, seed=42)
+        from repro.synth.netsim import simulate_ff_netlist
+
+        trace = simulate_ff_netlist(impl, stim)
+        assert trace.output_stream == FsmSimulator(moore).run(stim).outputs
+
+
+class TestZeroInputMachines:
+    def counter(self):
+        """An input-less ring counter (pure sequencer)."""
+        fsm = FSM("ring", 0, 2, ["P0", "P1", "P2"], "P0")
+        fsm.add("P0", "", "P1", "01")
+        fsm.add("P1", "", "P2", "10")
+        fsm.add("P2", "", "P0", "11")
+        return fsm
+
+    def test_rom_mapping_of_sequencer(self):
+        fsm = self.counter()
+        impl = map_fsm_to_rom(fsm)
+        assert impl.layout.input_bits == 0
+        trace = impl.run([0, 0, 0, 0, 0, 0])
+        ref = FsmSimulator(fsm).run([0, 0, 0, 0, 0, 0])
+        assert trace.output_stream == ref.outputs
+
+    def test_ff_synthesis_of_sequencer(self):
+        fsm = self.counter()
+        impl = synthesize_ff(fsm)
+        from repro.synth.netsim import simulate_ff_netlist
+
+        trace = simulate_ff_netlist(impl, [0, 0, 0])
+        assert trace.output_stream == \
+            FsmSimulator(fsm).run([0, 0, 0]).outputs
+
+    def test_kiss_roundtrip_of_sequencer(self):
+        fsm = self.counter()
+        again = parse_kiss(format_kiss(fsm), "ring")
+        assert again.num_inputs == 0
+        assert len(again.transitions) == 3
+
+
+class TestNoNetCollection:
+    def test_fast_run_skips_net_bookkeeping(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        impl = map_fsm_to_rom(fsm, force_compaction=True, clock_control=True)
+        stim = random_stimulus(1, 200, seed=43)
+        full = impl.run(stim, collect_nets=True)
+        fast = impl.run(stim, collect_nets=False)
+        assert fast.output_stream == full.output_stream
+        assert fast.mux_toggles == {}
+        assert full.mux_toggles != {}

@@ -1,0 +1,141 @@
+"""Unit tests for combinational logic packing into memory blocks."""
+
+import pytest
+
+from repro.bench.suite import load_benchmark
+from repro.logic.cube import Cover
+from repro.logic.lutmap import map_network
+from repro.logic.network import sop_to_network
+from repro.romfsm.logic_packing import pack_logic_into_brams
+from repro.synth.ff_synth import synthesize_ff
+
+
+def build_mapping(covers, names):
+    return map_network(sop_to_network(covers, names))
+
+
+def wide_function_mapping(n_inputs=8, n_outputs=4, seed=3):
+    """Random-ish dense multi-output function worth a memory block."""
+    import random
+
+    rng = random.Random(seed)
+    names = [f"i{k}" for k in range(n_inputs)]
+    covers = {}
+    for o in range(n_outputs):
+        patterns = []
+        for _ in range(10):
+            patterns.append(
+                "".join(rng.choice("01-") for _ in range(n_inputs))
+            )
+        covers[f"f{o}"] = Cover.from_strings(patterns)
+    return build_mapping(covers, names), covers, names
+
+
+def exhaustive_equivalent(packed, mapping, names):
+    for m in range(1 << len(names)):
+        values = {name: (m >> i) & 1 for i, name in enumerate(names)}
+        assert packed.evaluate(values) == mapping.evaluate(values), m
+
+
+class TestPacking:
+    def test_absorbs_wide_cone(self):
+        mapping, covers, names = wide_function_mapping()
+        packed = pack_logic_into_brams(mapping, max_brams=1)
+        assert packed.num_brams == 1
+        assert packed.luts_saved >= 4
+        exhaustive_equivalent(packed, mapping, names)
+
+    def test_residual_netlist_shrinks(self):
+        mapping, _, names = wide_function_mapping()
+        packed = pack_logic_into_brams(mapping)
+        assert packed.num_luts < mapping.num_luts
+        assert packed.num_luts + packed.packs[0].absorbed_luts == \
+            mapping.num_luts
+
+    def test_zero_brams_is_identity(self):
+        mapping, _, names = wide_function_mapping()
+        packed = pack_logic_into_brams(mapping, max_brams=0)
+        assert packed.num_brams == 0
+        assert packed.num_luts == mapping.num_luts
+        exhaustive_equivalent(packed, mapping, names)
+
+    def test_small_cones_not_worth_a_block(self):
+        covers = {"f": Cover.from_strings(["11"])}
+        mapping = build_mapping(covers, ["a", "b"])
+        packed = pack_logic_into_brams(mapping, min_luts_per_block=4)
+        assert packed.num_brams == 0
+        assert packed.num_luts == mapping.num_luts
+
+    def test_excluded_outputs_stay_in_luts(self):
+        mapping, _, names = wide_function_mapping()
+        packed = pack_logic_into_brams(
+            mapping, exclude_outputs=[f"f{o}" for o in range(4)]
+        )
+        assert packed.num_brams == 0
+
+    def test_wide_support_rejected(self):
+        """A cone over 15 inputs exceeds every address port but 16Kx1
+        (which offers only 1 output bit), so it cannot pack 2 outputs."""
+        import random
+
+        rng = random.Random(1)
+        names = [f"i{k}" for k in range(15)]
+        covers = {}
+        for o in range(2):
+            patterns = ["".join(rng.choice("01") for _ in range(15))
+                        for _ in range(4)]
+            covers[f"f{o}"] = Cover.from_strings(patterns)
+        mapping = build_mapping(covers, names)
+        packed = pack_logic_into_brams(mapping, max_brams=2)
+        # Each block then carries at most one output (16Kx1).
+        for pack in packed.packs:
+            assert len(pack.output_names) == 1
+
+    def test_shared_logic_between_kept_and_packed_is_retained(self):
+        """A LUT read by both a packed and a kept output must stay."""
+        covers = {
+            # f and g share the AND cone over a..e; h is excluded.
+            "f": Cover.from_strings(["11111---", "0000----"]),
+            "g": Cover.from_strings(["11111---", "---11-1-"]),
+            "h": Cover.from_strings(["11111---"]),
+        }
+        names = [f"i{k}" for k in range(8)]
+        mapping = build_mapping(covers, names)
+        packed = pack_logic_into_brams(
+            mapping, exclude_outputs=["h"], min_luts_per_block=1
+        )
+        exhaustive_equivalent(packed, mapping, names)
+        # h still evaluates through LUTs.
+        assert "h" in packed.mapping.outputs
+
+
+class TestOnFfBaseline:
+    def test_moore_decoder_packs_into_block(self):
+        """planet's external Moore decoder (19 outputs of 6 state bits)
+        is the textbook ref-[7] case: one 64x19 block swallows it."""
+        from repro.flows.flow import implement_rom
+
+        impl = implement_rom(load_benchmark("planet"))
+        decoder = impl.moore_output_mapping
+        assert decoder is not None
+        packed = pack_logic_into_brams(decoder, min_luts_per_block=4)
+        assert packed.num_brams == 1
+        assert packed.luts_saved > 20
+        # Spot-check equivalence over the state-bit space.
+        for code in range(64):
+            values = {f"state{b}": (code >> b) & 1 for b in range(6)}
+            assert packed.evaluate(values) == decoder.evaluate(values)
+
+    def test_output_logic_of_ff_impl(self):
+        """Pack only the FSM's output functions (next-state bits feed
+        the register and are excluded)."""
+        fsm = load_benchmark("styr")
+        impl = synthesize_ff(fsm)
+        exclude = [f"ns{b}" for b in range(impl.encoding.width)]
+        packed = pack_logic_into_brams(
+            impl.mapping, max_brams=1, exclude_outputs=exclude
+        )
+        if packed.num_brams:
+            assert packed.luts_saved > 0
+            for b in range(impl.encoding.width):
+                assert f"ns{b}" in packed.mapping.outputs

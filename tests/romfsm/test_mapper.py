@@ -1,0 +1,183 @@
+"""Unit tests for the Fig. 5 mapping algorithm."""
+
+import pytest
+
+from repro.arch.bram import BramConfig
+from repro.bench.suite import load_benchmark
+from repro.fsm.kiss import parse_kiss
+from repro.fsm.machine import FSM
+from repro.fsm.simulate import FsmSimulator, random_stimulus
+from repro.romfsm.mapper import MappingError, map_fsm_to_rom
+
+DETECTOR = """
+.i 1
+.o 1
+.r A
+0 A B 0
+1 A A 0
+0 B B 0
+1 B C 0
+0 C D 0
+1 C A 0
+0 D B 0
+1 D C 1
+"""
+
+
+def check_equivalent(fsm, impl, cycles=400, seed=3):
+    stim = random_stimulus(fsm.num_inputs, cycles, seed=seed)
+    ref = FsmSimulator(fsm).run(stim)
+    trace = impl.run(stim)
+    assert trace.output_stream == ref.outputs
+    assert trace.state_stream == ref.states
+
+
+class TestBasicMapping:
+    def test_small_fsm_single_bram_no_luts(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        impl = map_fsm_to_rom(fsm)
+        assert impl.num_brams == 1
+        assert impl.num_luts == 0
+        assert impl.layout.addr_bits == 3
+        check_equivalent(fsm, impl)
+
+    def test_reset_state_at_code_zero(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        impl = map_fsm_to_rom(fsm)
+        assert impl.encoding.encode(fsm.reset_state) == 0
+
+    def test_shallow_wide_config_preferred(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        impl = map_fsm_to_rom(fsm)
+        assert impl.config == BramConfig(512, 36)
+
+    def test_nondeterministic_machine_rejected(self):
+        fsm = FSM("bad", 1, 1, ["A", "B"], "A")
+        fsm.add("A", "-", "A", "0")
+        fsm.add("A", "1", "B", "1")
+        with pytest.raises(Exception):
+            map_fsm_to_rom(fsm)
+
+    def test_bad_moore_option_rejected(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        with pytest.raises(ValueError):
+            map_fsm_to_rom(fsm, moore_outputs="sometimes")
+
+
+class TestCompactionDecision:
+    def wide_machine(self, inputs=12, care=2):
+        """More inputs than any BRAM address port, few care columns."""
+        fsm = FSM("wide", inputs, 1, ["A", "B", "C", "D", "E"], "A")
+        states = fsm.states
+        for idx, state in enumerate(states):
+            nxt = states[(idx + 1) % len(states)]
+            pattern = ["-"] * inputs
+            pattern[idx % care + 0] = "1"
+            fsm.add(state, "".join(pattern), nxt, "1")
+            pattern[idx % care + 0] = "0"
+            fsm.add(state, "".join(pattern), state, "0")
+        return fsm
+
+    def test_compaction_applied_when_raw_does_not_fit(self):
+        fsm = self.wide_machine(inputs=13)
+        impl = map_fsm_to_rom(fsm)
+        assert impl.compaction is not None
+        assert impl.mux_mapping is not None
+        assert impl.layout.input_bits < fsm.num_inputs
+        check_equivalent(fsm, impl, cycles=300)
+
+    def test_force_compaction(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        impl = map_fsm_to_rom(fsm, force_compaction=True)
+        assert impl.compaction is not None
+        check_equivalent(fsm, impl)
+
+    def test_power_policy_compacts_away_two_plus_bits(self):
+        # prep4-like: raw fits (12 addr bits) but compaction saves >= 2.
+        fsm = load_benchmark("prep4")
+        impl = map_fsm_to_rom(fsm, moore_outputs="external")
+        assert impl.compaction is not None
+        assert impl.layout.addr_bits < fsm.num_inputs + impl.encoding.width
+
+
+class TestMooreOutputs:
+    def moore_machine(self):
+        fsm = FSM("mm", 1, 3, ["A", "B"], "A")
+        fsm.add("A", "-", "B", "000")
+        fsm.add("B", "0", "B", "101")
+        fsm.add("B", "1", "A", "101")
+        return fsm
+
+    def test_external_outputs_shrink_word(self):
+        fsm = self.moore_machine()
+        impl = map_fsm_to_rom(fsm, moore_outputs="external")
+        assert impl.layout.output_bits == 0
+        assert impl.moore_output_mapping is not None
+        check_equivalent(fsm, impl)
+
+    def test_external_on_mealy_rejected(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        with pytest.raises(MappingError):
+            map_fsm_to_rom(fsm, moore_outputs="external")
+
+    def test_external_on_incomplete_rejected(self):
+        fsm = FSM("incmoore", 1, 1, ["A", "B"], "A")
+        fsm.add("A", "1", "B", "0")
+        fsm.add("B", "0", "A", "1")
+        with pytest.raises(MappingError):
+            map_fsm_to_rom(fsm, moore_outputs="external")
+
+    def test_auto_externalizes_wide_output_moore(self):
+        """planet-class machines: 19 outputs >> state bits."""
+        fsm = load_benchmark("planet")
+        impl = map_fsm_to_rom(fsm)
+        assert impl.moore_output_mapping is not None
+        assert impl.layout.output_bits == 0
+
+    def test_internal_keeps_outputs_in_word(self):
+        fsm = self.moore_machine()
+        impl = map_fsm_to_rom(fsm, moore_outputs="internal")
+        assert impl.layout.output_bits == 3
+        assert impl.moore_output_mapping is None
+        check_equivalent(fsm, impl)
+
+
+class TestParallelJoining:
+    def test_wide_word_uses_parallel_lanes(self):
+        """A Mealy machine with many outputs exceeds one data port."""
+        fsm = FSM("wideout", 3, 33, ["A", "B"], "A")
+        out_a = "01" * 16 + "1"
+        out_b = "10" * 16 + "0"
+        fsm.add("A", "1--", "B", out_a)
+        fsm.add("A", "0--", "A", out_b)
+        fsm.add("B", "---", "A", out_b)
+        impl = map_fsm_to_rom(fsm)
+        # 33 outputs + 1 state bit = 34 data bits fits one 512x36 port;
+        # force the narrower check by examining the chosen plan.
+        assert impl.parallel_brams * impl.config.width >= 34
+        check_equivalent(fsm, impl, cycles=200)
+
+    def test_paper_benchmarks_fit_target_device(self):
+        from repro.arch.device import get_device
+
+        device = get_device("XC2V250")
+        for name in ("dk14", "keyb", "planet"):
+            impl = map_fsm_to_rom(load_benchmark(name))
+            assert device.fits(impl.utilization)
+
+
+class TestClockControlOption:
+    def test_clock_control_attached(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        impl = map_fsm_to_rom(fsm, clock_control=True)
+        assert impl.clock_control is not None
+        assert impl.clock_control.num_luts >= 1
+        check_equivalent(fsm, impl)
+
+    def test_idle_budget_forwarded(self):
+        fsm = load_benchmark("keyb")
+        tight = map_fsm_to_rom(fsm, clock_control=True, max_idle_cubes=2)
+        loose = map_fsm_to_rom(fsm, clock_control=True, max_idle_cubes=32)
+        assert tight.clock_control.num_luts <= loose.clock_control.num_luts
+        check_equivalent(fsm, tight, cycles=300)
+        check_equivalent(fsm, loose, cycles=300)

@@ -1,0 +1,129 @@
+"""Unit tests for VHDL emission and INIT string generation."""
+
+import pytest
+
+from repro.fsm.kiss import parse_kiss
+from repro.fsm.machine import FSM
+from repro.romfsm.mapper import map_fsm_to_rom
+from repro.romfsm.vhdl import bram_init_strings, rom_fsm_vhdl
+
+DETECTOR = """
+.i 1
+.o 1
+.r A
+0 A B 0
+1 A A 0
+0 B B 0
+1 B C 0
+0 C D 0
+1 C A 0
+0 D B 0
+1 D C 1
+"""
+
+
+class TestInitStrings:
+    def test_sixty_four_strings_of_64_hex_chars(self):
+        strings = bram_init_strings([0] * 512, 36)
+        assert len(strings) == 64
+        assert all(len(s) == 64 for s in strings)
+        assert all(set(s) <= set("0123456789ABCDEF") for s in strings)
+
+    def test_word_zero_lands_at_lsb(self):
+        strings = bram_init_strings([0xA], 8)
+        assert strings[0].endswith("0A")
+        assert strings[1] == "0" * 64
+
+    def test_consecutive_words_packed(self):
+        # Two 8-bit words: word1 occupies bits 8..15.
+        strings = bram_init_strings([0xAB, 0xCD], 8)
+        assert strings[0].endswith("CDAB")
+
+    def test_word_crossing_init_boundary(self):
+        # 256 bits per INIT: a 12-bit word starting at bit 252 spans two
+        # strings (word 21 of a x12 layout).
+        words = [0] * 21 + [0xFFF]
+        strings = bram_init_strings(words, 12)
+        assert strings[0][0] == "F"  # low nibble of the word at bits 252-255
+        assert strings[1].endswith("FF")  # remaining 8 bits
+
+    def test_parity_split_for_x9_ratios(self):
+        from repro.romfsm.vhdl import bram_initp_strings
+
+        # One 9-bit word 0x1FF: 8 data bits + 1 parity bit.
+        data = bram_init_strings([0x1FF], 9)
+        parity = bram_initp_strings([0x1FF], 9)
+        assert data[0].endswith("FF")
+        assert parity[0].endswith("1")
+
+    def test_parity_strings_zero_for_pure_data_widths(self):
+        from repro.romfsm.vhdl import bram_initp_strings
+
+        assert bram_initp_strings([0xF], 4) == ["0" * 64] * 8
+
+    def test_x36_words_fit_full_depth(self):
+        # 512 x 36-bit words = 16 Kbit data + 2 Kbit parity: exactly full.
+        data = bram_init_strings([(1 << 36) - 1] * 512, 36)
+        assert all(s == "F" * 64 for s in data)
+
+    def test_capacity_checked(self):
+        with pytest.raises(ValueError):
+            bram_init_strings([0] * 1024, 36)
+
+    def test_word_width_checked(self):
+        with pytest.raises(ValueError):
+            bram_init_strings([256], 8)
+        with pytest.raises(ValueError):
+            bram_init_strings([0], 0)
+
+
+class TestVhdlEmission:
+    def test_basic_structure(self):
+        impl = map_fsm_to_rom(parse_kiss(DETECTOR, "seq0101"))
+        text = rom_fsm_vhdl(impl)
+        assert "entity seq0101_romfsm is" in text
+        assert "architecture rtl" in text
+        assert 'attribute rom_style of ROM : constant is "block";' in text
+        assert "rising_edge(clk)" in text
+        assert "end architecture rtl;" in text
+
+    def test_rom_constant_holds_contents(self):
+        impl = map_fsm_to_rom(parse_kiss(DETECTOR, "seq0101"))
+        text = rom_fsm_vhdl(impl)
+        for addr, word in enumerate(impl.contents):
+            assert f'{addr} => "{word:03b}"' in text
+
+    def test_plain_enable_without_clock_control(self):
+        impl = map_fsm_to_rom(parse_kiss(DETECTOR, "seq0101"))
+        assert "en <= '1';" in rom_fsm_vhdl(impl)
+
+    def test_clock_control_emits_idle_expression(self):
+        impl = map_fsm_to_rom(parse_kiss(DETECTOR, "seq0101"),
+                              clock_control=True)
+        text = rom_fsm_vhdl(impl)
+        assert "en <= not (" in text
+        assert "Idle-state clock control" in text
+
+    def test_compaction_emits_mux_process(self):
+        impl = map_fsm_to_rom(parse_kiss(DETECTOR, "seq0101"),
+                              force_compaction=True)
+        text = rom_fsm_vhdl(impl)
+        assert "mux: process(state, din)" in text
+        assert "case state is" in text
+
+    def test_moore_external_emits_output_process(self):
+        fsm = FSM("mm", 1, 2, ["A", "B"], "A")
+        fsm.add("A", "-", "B", "01")
+        fsm.add("B", "-", "A", "10")
+        impl = map_fsm_to_rom(fsm, moore_outputs="external")
+        text = rom_fsm_vhdl(impl)
+        assert "moore: process(state)" in text
+
+    def test_custom_entity_name(self):
+        impl = map_fsm_to_rom(parse_kiss(DETECTOR, "seq0101"))
+        assert "entity my_fsm is" in rom_fsm_vhdl(impl, entity_name="my_fsm")
+
+    def test_emission_is_deterministic(self):
+        impl = map_fsm_to_rom(parse_kiss(DETECTOR, "seq0101"),
+                              clock_control=True)
+        assert rom_fsm_vhdl(impl) == rom_fsm_vhdl(impl)

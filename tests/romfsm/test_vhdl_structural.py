@@ -1,0 +1,90 @@
+"""Unit tests for the structural RAMB16 primitive emitter."""
+
+import pytest
+
+from repro.bench.suite import load_benchmark
+from repro.fsm.kiss import parse_kiss
+from repro.romfsm.mapper import map_fsm_to_rom
+from repro.romfsm.vhdl import (
+    bram_init_strings,
+    rom_fsm_vhdl_structural,
+)
+
+DETECTOR = """
+.i 1
+.o 1
+.r A
+0 A B 0
+1 A A 0
+0 B B 0
+1 B C 0
+0 C D 0
+1 C A 0
+0 D B 0
+1 D C 1
+"""
+
+
+@pytest.fixture
+def detector_impl():
+    return map_fsm_to_rom(parse_kiss(DETECTOR, "det"))
+
+
+class TestStructural:
+    def test_instantiates_matching_primitive(self, detector_impl):
+        text = rom_fsm_vhdl_structural(detector_impl)
+        assert "RAMB16_S36" in text
+        assert "library unisim;" in text
+        assert "use unisim.vcomponents.all;" in text
+
+    def test_one_instance_per_lane(self, detector_impl):
+        text = rom_fsm_vhdl_structural(detector_impl)
+        assert text.count("lane0:") == 1
+        assert "lane1:" not in text
+
+    def test_init_generics_match_contents(self, detector_impl):
+        text = rom_fsm_vhdl_structural(detector_impl)
+        expected = bram_init_strings(
+            detector_impl.contents, detector_impl.config.width
+        )
+        assert f'INIT_00 => X"{expected[0]}"' in text
+
+    def test_address_padding_to_port_width(self, detector_impl):
+        # 3 used address bits on a 9-bit port: padded with six zeros.
+        text = rom_fsm_vhdl_structural(detector_impl)
+        assert 'addr <= "000000" & wide_addr;' in text
+
+    def test_enable_port_wired(self, detector_impl):
+        text = rom_fsm_vhdl_structural(detector_impl)
+        assert "EN   => en," in text
+        assert "WE   => '0'" in text
+
+    def test_initp_generics_for_parity_widths(self):
+        impl = map_fsm_to_rom(load_benchmark("keyb"))  # 1Kx18 ratio
+        text = rom_fsm_vhdl_structural(impl)
+        assert "RAMB16_S18" in text
+        assert "INITP_00" in text
+
+    def test_partial_data_port_left_open(self):
+        impl = map_fsm_to_rom(load_benchmark("keyb"))  # 7 of 18 bits used
+        text = rom_fsm_vhdl_structural(impl)
+        assert "=> open," in text
+
+    def test_clock_control_expression_included(self):
+        impl = map_fsm_to_rom(parse_kiss(DETECTOR, "det"), clock_control=True)
+        text = rom_fsm_vhdl_structural(impl)
+        assert "en <= not (" in text
+
+    def test_moore_output_process_included(self):
+        impl = map_fsm_to_rom(load_benchmark("planet"))
+        text = rom_fsm_vhdl_structural(impl)
+        assert "moore: process(state)" in text
+
+    def test_series_mapping_rejected(self, detector_impl):
+        detector_impl.series_brams = 2
+        with pytest.raises(ValueError):
+            rom_fsm_vhdl_structural(detector_impl)
+
+    def test_deterministic(self, detector_impl):
+        assert rom_fsm_vhdl_structural(detector_impl) == \
+            rom_fsm_vhdl_structural(detector_impl)

@@ -1,0 +1,199 @@
+"""Unit tests for BLIF I/O and the FF-baseline VHDL translator."""
+
+import pytest
+
+from repro.bench.suite import load_benchmark
+from repro.fsm.kiss import parse_kiss
+from repro.fsm.simulate import FsmSimulator, random_stimulus
+from repro.synth.blif import (
+    BlifModel,
+    ff_implementation_vhdl,
+    parse_blif,
+    write_blif,
+)
+from repro.synth.ff_synth import synthesize_ff
+
+DETECTOR = """
+.i 1
+.o 1
+.r A
+0 A B 0
+1 A A 0
+0 B B 0
+1 B C 0
+0 C D 0
+1 C A 0
+0 D B 0
+1 D C 1
+"""
+
+
+def blif_outputs(model: BlifModel, stimulus, num_inputs):
+    frames = [
+        {f"in{i}": (v >> i) & 1 for i in range(num_inputs)}
+        for v in stimulus
+    ]
+    packed = []
+    for outputs in model.run(frames):
+        word = 0
+        for name, value in outputs.items():
+            if value:
+                word |= 1 << int(name[3:])
+        packed.append(word)
+    return packed
+
+
+class TestWrite:
+    def test_structure(self):
+        impl = synthesize_ff(parse_kiss(DETECTOR, "det"))
+        text = write_blif(impl)
+        assert text.startswith(".model det")
+        assert ".inputs in0" in text
+        assert ".outputs out0" in text
+        assert text.count(".latch") == impl.num_ffs
+        assert text.count(".names") >= impl.num_luts
+        assert text.rstrip().endswith(".end")
+
+    def test_latch_reset_values_encode_reset_state(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        impl = synthesize_ff(fsm)
+        text = write_blif(impl)
+        code = impl.encoding.encode(fsm.reset_state)
+        for line in text.splitlines():
+            if line.startswith(".latch"):
+                bit = int(line.split()[2].replace("state", ""))
+                assert int(line.split()[-1]) == (code >> bit) & 1
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["dk14", "donfile"])
+    def test_benchmark_roundtrip_equivalence(self, name):
+        fsm = load_benchmark(name)
+        impl = synthesize_ff(fsm)
+        model = parse_blif(write_blif(impl))
+        stim = random_stimulus(fsm.num_inputs, 300, seed=5)
+        reference = FsmSimulator(fsm).run(stim)
+        assert blif_outputs(model, stim, fsm.num_inputs) == reference.outputs
+
+    def test_detector_roundtrip(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        impl = synthesize_ff(fsm)
+        model = parse_blif(write_blif(impl))
+        stim = [0, 1, 0, 1, 0, 1]
+        assert blif_outputs(model, stim, 1) == [0, 0, 0, 1, 0, 1]
+
+    def test_one_hot_roundtrip(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        impl = synthesize_ff(fsm, encoding_style="one-hot")
+        model = parse_blif(write_blif(impl))
+        stim = random_stimulus(1, 200, seed=9)
+        reference = FsmSimulator(fsm).run(stim)
+        assert blif_outputs(model, stim, 1) == reference.outputs
+
+
+class TestParser:
+    def test_minimal_model(self):
+        model = parse_blif(
+            ".model tiny\n.inputs a b\n.outputs f\n"
+            ".names a b f\n11 1\n.end\n"
+        )
+        assert model.name == "tiny"
+        _, outputs = model.step({}, {"a": 1, "b": 1})
+        assert outputs == {"f": 1}
+        _, outputs = model.step({}, {"a": 1, "b": 0})
+        assert outputs == {"f": 0}
+
+    def test_dont_care_rows(self):
+        model = parse_blif(
+            ".model m\n.inputs a b c\n.outputs f\n"
+            ".names a b c f\n1-- 1\n-11 1\n.end\n"
+        )
+        _, out = model.step({}, {"a": 0, "b": 1, "c": 1})
+        assert out["f"] == 1
+        _, out = model.step({}, {"a": 0, "b": 1, "c": 0})
+        assert out["f"] == 0
+
+    def test_constants(self):
+        model = parse_blif(
+            ".model m\n.inputs a\n.outputs f g\n"
+            ".names f\n1\n.names g\n.end\n"
+        )
+        _, out = model.step({}, {"a": 0})
+        assert out == {"f": 1, "g": 0}
+
+    def test_latch_behaviour(self):
+        model = parse_blif(
+            ".model reg\n.inputs d\n.outputs q\n"
+            ".latch d s re clk 1\n.names s q\n1 1\n.end\n"
+        )
+        state = {latch.output: latch.init for latch in model.latches}
+        state, out = model.step(state, {"d": 0})
+        assert out["q"] == 1  # initial value visible before the edge
+        state, out = model.step(state, {"d": 1})
+        assert out["q"] == 0  # the 0 sampled last cycle
+
+    def test_continuation_lines(self):
+        model = parse_blif(
+            ".model m\n.inputs a \\\nb\n.outputs f\n"
+            ".names a b f\n11 1\n.end\n"
+        )
+        assert model.inputs == ["a", "b"]
+
+    def test_comments_stripped(self):
+        model = parse_blif(
+            "# header\n.model m\n.inputs a # trailing\n.outputs f\n"
+            ".names a f\n1 1\n.end\n"
+        )
+        assert model.inputs == ["a"]
+
+    def test_missing_model_rejected(self):
+        with pytest.raises(ValueError):
+            parse_blif(".inputs a\n")
+
+    def test_off_set_rows_rejected(self):
+        with pytest.raises(ValueError):
+            parse_blif(
+                ".model m\n.inputs a\n.outputs f\n.names a f\n1 0\n.end\n"
+            )
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            parse_blif(
+                ".model m\n.inputs a b\n.outputs f\n.names a b f\n1 1\n.end\n"
+            )
+
+    def test_undriven_net_detected(self):
+        model = parse_blif(
+            ".model m\n.inputs a\n.outputs f\n.names a ghost f\n11 1\n.end\n"
+        )
+        with pytest.raises(ValueError):
+            model.step({}, {"a": 1})
+
+
+class TestVhdlTranslator:
+    def test_structure(self):
+        impl = synthesize_ff(parse_kiss(DETECTOR, "det"))
+        text = ff_implementation_vhdl(impl)
+        assert "entity det_ff is" in text
+        assert "state_reg: process(clk)" in text
+        assert text.count("with (") == impl.num_luts
+        assert "end architecture rtl;" in text
+
+    def test_reset_vector_matches_encoding(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        impl = synthesize_ff(fsm)
+        text = ff_implementation_vhdl(impl)
+        code = impl.encoding.encode(fsm.reset_state)
+        bits = "".join(
+            str((code >> b) & 1)
+            for b in reversed(range(impl.encoding.width))
+        )
+        assert f'state <= "{bits}";' in text
+
+    def test_custom_entity_name(self):
+        impl = synthesize_ff(parse_kiss(DETECTOR, "det"))
+        assert "entity alt is" in ff_implementation_vhdl(impl, "alt")
+
+    def test_deterministic(self):
+        impl = synthesize_ff(parse_kiss(DETECTOR, "det"))
+        assert ff_implementation_vhdl(impl) == ff_implementation_vhdl(impl)

@@ -1,0 +1,66 @@
+"""Property-based equivalence for the decomposition baseline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import GeneratorSpec, generate_fsm
+from repro.fsm.simulate import FsmSimulator, random_stimulus
+from repro.synth.decompose import decompose_fsm
+
+
+def _make_spec(num_states, num_inputs, num_outputs, care, branch, seed):
+    care = min(care, num_inputs)
+    return GeneratorSpec(
+        name="decprop",
+        num_states=num_states,
+        num_inputs=num_inputs,
+        num_outputs=num_outputs,
+        care_inputs=(min(1, care), care),
+        branch_probability=branch,
+        self_loop_bias=0.3,
+        seed=seed,
+    )
+
+
+spec_strategy = st.builds(
+    _make_spec,
+    num_states=st.integers(min_value=2, max_value=12),
+    num_inputs=st.integers(min_value=1, max_value=4),
+    num_outputs=st.integers(min_value=1, max_value=3),
+    care=st.integers(min_value=1, max_value=3),
+    branch=st.floats(min_value=0.3, max_value=0.8),
+    seed=st.integers(min_value=0, max_value=5000),
+)
+
+
+@given(spec=spec_strategy, seed=st.integers(0, 500))
+@settings(max_examples=12, deadline=None)
+def test_decomposed_implementation_matches_reference(spec, seed):
+    fsm = generate_fsm(spec)
+    dec = decompose_fsm(fsm)
+    stim = random_stimulus(fsm.num_inputs, 100, seed=seed)
+    ref = FsmSimulator(fsm).run(stim)
+    trace = dec.run(stim)
+    assert trace.output_stream == ref.outputs
+    assert trace.state_stream == ref.states
+
+
+@given(spec=spec_strategy)
+@settings(max_examples=12, deadline=None)
+def test_partition_is_exhaustive_and_disjoint(spec):
+    fsm = generate_fsm(spec)
+    dec = decompose_fsm(fsm)
+    assert dec.part_a | dec.part_b == set(fsm.states)
+    assert not dec.part_a & dec.part_b
+    assert fsm.reset_state in dec.part_a
+
+
+@given(spec=spec_strategy, seed=st.integers(0, 500))
+@settings(max_examples=10, deadline=None)
+def test_activity_conservation(spec, seed):
+    """Active-cycle counts always partition the run exactly."""
+    fsm = generate_fsm(spec)
+    dec = decompose_fsm(fsm)
+    trace = dec.run(random_stimulus(fsm.num_inputs, 80, seed=seed))
+    assert trace.active_cycles_a + trace.active_cycles_b == 80
+    assert 0 <= trace.handoffs <= 80

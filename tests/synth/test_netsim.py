@@ -1,0 +1,80 @@
+"""Unit tests for FF netlist simulation and toggle statistics."""
+
+import pytest
+
+from repro.fsm.kiss import parse_kiss
+from repro.fsm.simulate import FsmSimulator, random_stimulus
+from repro.synth.ff_synth import synthesize_ff
+from repro.synth.netsim import simulate_ff_netlist
+
+DETECTOR = """
+.i 1
+.o 1
+.r A
+0 A B 0
+1 A A 0
+0 B B 0
+1 B C 0
+0 C D 0
+1 C A 0
+0 D B 0
+1 D C 1
+"""
+
+
+@pytest.fixture(scope="module")
+def impl():
+    return synthesize_ff(parse_kiss(DETECTOR, "det"))
+
+
+class TestSimulation:
+    def test_outputs_match_reference(self, impl):
+        stim = random_stimulus(1, 300, seed=11)
+        ref = FsmSimulator(impl.fsm).run(stim)
+        trace = simulate_ff_netlist(impl, stim)
+        assert trace.output_stream == ref.outputs
+
+    def test_trace_dimensions(self, impl):
+        trace = simulate_ff_netlist(impl, [0, 1, 0])
+        assert trace.num_cycles == 3
+        assert len(trace.state_stream) == 4
+
+    def test_deterministic(self, impl):
+        stim = random_stimulus(1, 200, seed=5)
+        a = simulate_ff_netlist(impl, stim)
+        b = simulate_ff_netlist(impl, stim)
+        assert a.net_toggles == b.net_toggles
+        assert a.output_stream == b.output_stream
+
+
+class TestToggleAccounting:
+    def test_input_toggles_counted(self, impl):
+        trace = simulate_ff_netlist(impl, [0, 1, 0, 1])
+        assert trace.net_toggles.get("in0", 0) == 3
+
+    def test_constant_input_never_toggles(self, impl):
+        trace = simulate_ff_netlist(impl, [1, 1, 1, 1])
+        assert trace.net_toggles.get("in0", 0) == 0
+
+    def test_state_bits_tracked_as_nets(self, impl):
+        # Drive the 0101 pattern: the state register must move.
+        trace = simulate_ff_netlist(impl, [0, 1, 0, 1, 0, 1, 0, 1])
+        state_toggles = sum(
+            trace.net_toggles.get(name, 0)
+            for name in impl.encoding.bit_names
+        )
+        assert state_toggles > 0
+        assert trace.ff_output_toggles > 0
+
+    def test_activity_normalised_by_cycles(self, impl):
+        trace = simulate_ff_netlist(impl, [0, 1] * 50)
+        assert trace.activity("in0") == pytest.approx(99 / 100)
+
+    def test_activity_of_unknown_net_is_zero(self, impl):
+        trace = simulate_ff_netlist(impl, [0, 1])
+        assert trace.activity("nope") == 0.0
+
+    def test_empty_stimulus(self, impl):
+        trace = simulate_ff_netlist(impl, [])
+        assert trace.num_cycles == 0
+        assert trace.activity("in0") == 0.0
