@@ -20,7 +20,6 @@ the experiments:
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Dict, List
 
 from repro.bench.generator import GeneratorSpec, generate_fsm
@@ -32,6 +31,7 @@ __all__ = [
     "PAPER_BENCHMARKS",
     "load_benchmark",
     "benchmark_stats",
+    "clear_benchmark_memo",
 ]
 
 
@@ -108,16 +108,30 @@ PAPER_BENCHMARKS: List[str] = [
 ]
 
 
-@lru_cache(maxsize=None)
+# Explicit per-process memo (generation is deterministic, so every
+# process regenerates identical machines; the pipeline's artifact cache
+# handles cross-process reuse).
+_BENCHMARK_MEMO: Dict[str, FSM] = {}
+
+
 def load_benchmark(name: str) -> FSM:
-    """Instantiate a benchmark FSM by name (cached, deterministic)."""
+    """Instantiate a benchmark FSM by name (memoized, deterministic)."""
+    if name in _BENCHMARK_MEMO:
+        return _BENCHMARK_MEMO[name]
     try:
         spec = BENCHMARK_SPECS[name]
     except KeyError:
         raise KeyError(
             f"unknown benchmark {name!r}; available: {sorted(BENCHMARK_SPECS)}"
         ) from None
-    return generate_fsm(spec)
+    fsm = generate_fsm(spec)
+    _BENCHMARK_MEMO[name] = fsm
+    return fsm
+
+
+def clear_benchmark_memo() -> None:
+    """Drop the in-process benchmark memo (mostly for tests)."""
+    _BENCHMARK_MEMO.clear()
 
 
 def benchmark_stats(name: str) -> FsmStats:

@@ -5,18 +5,31 @@ from repro.flows.flow import (
     EvaluationResult,
     PAPER_FREQUENCIES_MHZ,
     evaluate_benchmark,
+    evaluate_benchmark_detailed,
+    evaluate_many,
     implement_ff,
     implement_rom,
 )
 from repro.flows.design import DesignReport, FsmChoice, FsmDesign
-from repro.flows.tables import table1, table2, table3, table4
+from repro.flows.tables import (
+    last_run_manifest,
+    run_all,
+    table1,
+    table2,
+    table3,
+    table4,
+)
 
 __all__ = [
     "EvaluationResult",
     "PAPER_FREQUENCIES_MHZ",
     "evaluate_benchmark",
+    "evaluate_benchmark_detailed",
+    "evaluate_many",
     "implement_ff",
     "implement_rom",
+    "run_all",
+    "last_run_manifest",
     "table1",
     "table2",
     "table3",

@@ -2,10 +2,16 @@
 
 Subcommands mirror the paper's artifacts::
 
-    romfsm tables [--cycles N] [--seed S] [--idle F]   # Tables 1-4
+    romfsm tables [--cycles N] [--seed S] [--idle F]
+                  [--jobs N] [--cache-dir D | --no-cache]  # Tables 1-4
     romfsm map FILE.kiss2 [--clock-control] [--vhdl OUT.vhd]
     romfsm eval FILE.kiss2 [--freq MHZ ...]
     romfsm bench-stats                                  # suite statistics
+    romfsm cache {stats,clear} [--cache-dir D]          # artifact cache
+
+The artifact cache is resolved from ``--cache-dir``, then the
+``REPRO_CACHE_DIR`` environment variable, and is otherwise off for
+``tables``/``eval`` (``cache`` falls back to ``~/.cache/romfsm``).
 """
 
 from __future__ import annotations
@@ -17,8 +23,16 @@ from typing import List, Optional
 
 from repro.bench.suite import PAPER_BENCHMARKS, benchmark_stats
 from repro.flows.flow import PAPER_FREQUENCIES_MHZ, evaluate_benchmark
-from repro.flows.tables import run_all, table1, table2, table3, table4
+from repro.flows.tables import (
+    last_run_manifest,
+    run_all,
+    table1,
+    table2,
+    table3,
+    table4,
+)
 from repro.fsm.kiss import load_kiss_file, save_kiss_file
+from repro.pipeline.cache import DEFAULT_CACHE_DIR, resolve_cache
 from repro.power.report import format_table
 from repro.romfsm.mapper import map_fsm_to_rom
 from repro.romfsm.vhdl import rom_fsm_vhdl, rom_fsm_vhdl_structural
@@ -26,9 +40,39 @@ from repro.romfsm.vhdl import rom_fsm_vhdl, rom_fsm_vhdl_structural
 __all__ = ["main"]
 
 
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="artifact cache directory (default: $REPRO_CACHE_DIR if set)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact cache even if REPRO_CACHE_DIR is set",
+    )
+
+
+def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent evaluations (default 1)",
+    )
+    _add_cache_options(parser)
+
+
+def _cache_spec(args: argparse.Namespace):
+    """CLI cache choice as a flow ``cache=`` value.
+
+    ``False`` (not ``None``) when ``--no-cache`` is given, so the
+    downstream resolution cannot fall back to ``REPRO_CACHE_DIR``.
+    """
+    return False if args.no_cache else args.cache_dir
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
+    cache = _cache_spec(args)
     results = run_all(
-        num_cycles=args.cycles, seed=args.seed, idle_fraction=args.idle
+        num_cycles=args.cycles, seed=args.seed, idle_fraction=args.idle,
+        jobs=args.jobs, cache=cache,
     )
     rendered = [table(results) for table in (table1, table2, table3, table4)]
     for table in rendered:
@@ -41,6 +85,12 @@ def _cmd_tables(args: argparse.Namespace) -> int:
             path = target / f"table{index}.txt"
             path.write_text(table.text + "\n")
             print(f"wrote {path}")
+    manifest = last_run_manifest()
+    if manifest is not None:
+        if args.manifest:
+            path = manifest.write(args.manifest)
+            print(f"wrote {path}")
+        print(f"[pipeline] {manifest.summary()}", file=sys.stderr)
     return 0
 
 
@@ -80,6 +130,7 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         num_cycles=args.cycles,
         idle_fraction=args.idle,
         seed=args.seed,
+        cache=_cache_spec(args),
     )
     rows = []
     for f in args.freq:
@@ -133,6 +184,21 @@ def _cmd_dump_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = resolve_cache(args.cache_dir)
+    if cache is None:
+        cache = resolve_cache(DEFAULT_CACHE_DIR)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"{cache.root}: removed {removed} cached artifact(s)")
+        return 0
+    info = cache.describe()
+    print(f"cache root : {info['root']}")
+    print(f"entries    : {info['entries']}")
+    print(f"size       : {info['size_bytes'] / 1024:.1f} KiB")
+    return 0
+
+
 def _cmd_bench_stats(_args: argparse.Namespace) -> int:
     rows = []
     for name in PAPER_BENCHMARKS:
@@ -166,6 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2004)
     p.add_argument("--idle", type=float, default=0.5)
     p.add_argument("--out", help="also write table{1..4}.txt to this dir")
+    p.add_argument("--manifest", metavar="FILE",
+                   help="write the run manifest (stage timings, cache "
+                        "hits/misses) as JSON to this path")
+    _add_pipeline_options(p)
     p.set_defaults(func=_cmd_tables)
 
     p = sub.add_parser("map", help="map a .kiss2 FSM into block RAM")
@@ -187,7 +257,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycles", type=int, default=2000)
     p.add_argument("--idle", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=2004)
+    _add_cache_options(p)
     p.set_defaults(func=_cmd_eval)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed artifact cache"
+    )
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="cache directory (default: $REPRO_CACHE_DIR, "
+                        "else ~/.cache/romfsm)")
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser(
         "blif", help="emit the FF baseline as BLIF (and optional VHDL)"

@@ -18,24 +18,26 @@ block).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.arch.device import Device, Utilization, get_device
+from repro.fsm.kiss import format_kiss
 from repro.fsm.machine import FSM
 from repro.fsm.simulate import idle_biased_stimulus, random_stimulus
+from repro.pipeline.cache import ArtifactCache, resolve_cache
+from repro.pipeline.driver import RunManifest, run_sharded
+from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.stage import StageContext
+from repro.pipeline.stages import make_stage
 from repro.power.activity import extract_ff_activity, extract_rom_activity
-from repro.power.estimator import (
-    PowerReport,
-    estimate_ff_power,
-    estimate_rom_power,
-)
+from repro.power.estimator import estimate_ff_power, estimate_rom_power
 from repro.power.params import PowerParams, VIRTEX2_PARAMS
 from repro.romfsm.mapper import MappingError, map_fsm_to_rom
-from repro.synth.ff_synth import synthesize_ff
 from repro.synth.netsim import simulate_ff_netlist
 
-__all__ = ["FsmChoice", "DesignReport", "FsmDesign"]
+__all__ = ["FsmChoice", "DesignReport", "FsmDesign", "build_design_pipeline"]
 
 
 @dataclass
@@ -63,6 +65,9 @@ class DesignReport:
     device: Device
     choices: List[FsmChoice]
     spare_brams: int
+    # Observability of the candidate-evaluation campaign (stage timings,
+    # cache hits/misses, worker count); None for hand-built reports.
+    manifest: Optional[RunManifest] = None
 
     @property
     def total_power_mw(self) -> float:
@@ -134,61 +139,40 @@ class FsmDesign:
 
     # ------------------------------------------------------------------
 
-    def _evaluate_one(
-        self, fsm: FSM, idle_fraction: float, frequency_mhz: float,
-        num_cycles: int, seed: int,
-    ) -> Dict[str, Tuple[float, Utilization, int]]:
-        """Candidate implementations: kind -> (power, utilization, brams)."""
-        if idle_fraction > 0:
-            stimulus = idle_biased_stimulus(
-                fsm, num_cycles, idle_fraction, seed=seed
-            )
-        else:
-            stimulus = random_stimulus(fsm.num_inputs, num_cycles, seed=seed)
-
-        candidates: Dict[str, Tuple[float, Utilization, int]] = {}
-        ff = synthesize_ff(fsm)
-        ff_power = estimate_ff_power(
-            ff, extract_ff_activity(ff, simulate_ff_netlist(ff, stimulus)),
-            frequency_mhz, self.device, self.params,
-        )
-        candidates["ff"] = (ff_power.total_mw, ff.utilization, 0)
-
-        try:
-            rom = map_fsm_to_rom(fsm)
-            rom_power = estimate_rom_power(
-                rom, extract_rom_activity(rom, rom.run(stimulus)),
-                frequency_mhz, self.device, self.params,
-            )
-            candidates["rom"] = (
-                rom_power.total_mw, rom.utilization, rom.num_brams
-            )
-            if idle_fraction >= 0.2:
-                cc = map_fsm_to_rom(fsm, clock_control=True)
-                cc_power = estimate_rom_power(
-                    cc, extract_rom_activity(cc, cc.run(stimulus)),
-                    frequency_mhz, self.device, self.params,
-                )
-                candidates["rom+cc"] = (
-                    cc_power.total_mw, cc.utilization, cc.num_brams
-                )
-        except MappingError:
-            pass  # machine too wide for the memory approach: FF only
-        return candidates
-
     def implement(
         self,
         frequency_mhz: float = 100.0,
         num_cycles: int = 1000,
         seed: int = 2004,
+        jobs: int = 1,
+        cache: Union[None, bool, str, ArtifactCache] = None,
     ) -> DesignReport:
-        """Evaluate every machine and allocate the spare memory blocks."""
-        evaluated = []
-        for fsm, policy, idle_fraction in self._fsms:
-            candidates = self._evaluate_one(
-                fsm, idle_fraction, frequency_mhz, num_cycles, seed
+        """Evaluate every machine and allocate the spare memory blocks.
+
+        ``jobs`` shards the independent per-machine candidate
+        evaluations across worker processes; ``cache`` serves repeated
+        evaluations (and the ``ff-synth`` artifacts shared with
+        :func:`repro.flows.flow.evaluate_benchmark`) from the
+        content-addressed artifact store.
+        """
+        resolved = resolve_cache(cache)
+        # False (not None) so workers do not fall back to REPRO_CACHE_DIR.
+        cache_path = str(resolved.root) if resolved is not None else False
+        items = [
+            (
+                fsm, idle_fraction, frequency_mhz, num_cycles, seed,
+                self.device, self.params, cache_path,
             )
+            for fsm, _policy, idle_fraction in self._fsms
+        ]
+        start = time.perf_counter()
+        shards = run_sharded(_design_shard, items, jobs=jobs)
+        manifest = RunManifest(jobs=max(1, jobs))
+        evaluated = []
+        for (fsm, policy, _idle), (candidates, report) in zip(self._fsms, shards):
+            manifest.add_report(report)
             evaluated.append((fsm, policy, candidates))
+        manifest.wall_seconds = time.perf_counter() - start
 
         choices: List[FsmChoice] = []
         budget = self.spare_brams
@@ -246,5 +230,115 @@ class FsmDesign:
                 )
 
         return DesignReport(
-            device=self.device, choices=choices, spare_brams=self.spare_brams
+            device=self.device,
+            choices=choices,
+            spare_brams=self.spare_brams,
+            manifest=manifest,
         )
+
+
+# ---------------------------------------------------------------------------
+# Candidate evaluation as a pipeline
+# ---------------------------------------------------------------------------
+
+
+def _stage_design_candidates(
+    ctx: StageContext,
+) -> Dict[str, Tuple[float, Utilization, int]]:
+    """Candidate implementations: kind -> (power, utilization, brams).
+
+    Unlike the paper-table flow, all candidates share one stimulus (the
+    machine's expected workload): idle-biased when the design declares
+    idle occupancy, uniform random otherwise.
+    """
+    fsm: FSM = ctx.value("parse")
+    ff = ctx.value("ff-synth")
+    idle_fraction = ctx.cfg("idle_fraction", 0.0)
+    frequency_mhz = ctx.cfg("frequency", 100.0)
+    num_cycles = ctx.cfg("num_cycles", 1000)
+    seed = ctx.cfg("seed", 2004)
+    device = ctx.cfg("device")
+    params = ctx.cfg("params")
+
+    if idle_fraction > 0:
+        stimulus = idle_biased_stimulus(fsm, num_cycles, idle_fraction, seed=seed)
+    else:
+        stimulus = random_stimulus(fsm.num_inputs, num_cycles, seed=seed)
+
+    candidates: Dict[str, Tuple[float, Utilization, int]] = {}
+    ff_power = estimate_ff_power(
+        ff, extract_ff_activity(ff, simulate_ff_netlist(ff, stimulus)),
+        frequency_mhz, device, params,
+    )
+    candidates["ff"] = (ff_power.total_mw, ff.utilization, 0)
+
+    try:
+        rom = map_fsm_to_rom(fsm)
+        rom_power = estimate_rom_power(
+            rom, extract_rom_activity(rom, rom.run(stimulus)),
+            frequency_mhz, device, params,
+        )
+        candidates["rom"] = (rom_power.total_mw, rom.utilization, rom.num_brams)
+        if idle_fraction >= 0.2:
+            cc = map_fsm_to_rom(fsm, clock_control=True)
+            cc_power = estimate_rom_power(
+                cc, extract_rom_activity(cc, cc.run(stimulus)),
+                frequency_mhz, device, params,
+            )
+            candidates["rom+cc"] = (
+                cc_power.total_mw, cc.utilization, cc.num_brams
+            )
+    except MappingError:
+        pass  # machine too wide for the memory approach: FF only
+    return candidates
+
+
+def build_design_pipeline() -> Pipeline:
+    """parse → complete-encode → ff-synth → design-candidates.
+
+    The first three stages are the same registered stages as the paper
+    flow, so a design evaluation and a benchmark evaluation of the same
+    machine share their synthesis artifacts in the cache.  ROM mapping
+    happens inside ``design-candidates`` because its feasibility
+    (``MappingError`` → FF-only) is part of this stage's result.
+    """
+    from repro.pipeline.stages import (
+        _stage_complete_encode,
+        _stage_ff_synth,
+        _stage_parse,
+    )
+
+    return Pipeline([
+        make_stage("parse", _stage_parse, (),
+                   ("benchmark", "kiss", "name", "states", "reset")),
+        make_stage("complete-encode", _stage_complete_encode,
+                   ("parse",), ("encoding",)),
+        make_stage("ff-synth", _stage_ff_synth,
+                   ("parse", "complete-encode"), ("encoding", "lut_k")),
+        make_stage("design-candidates", _stage_design_candidates,
+                   ("parse", "ff-synth"),
+                   ("frequency", "num_cycles", "seed", "idle_fraction",
+                    "device", "params")),
+    ])
+
+
+def _design_shard(item) -> Tuple[Dict[str, Tuple[float, Utilization, int]], Any]:
+    """Top-level worker for :func:`run_sharded` (must be picklable)."""
+    (fsm, idle_fraction, frequency_mhz, num_cycles, seed,
+     device, params, cache_path) = item
+    config: Dict[str, Any] = {
+        "fsm": fsm,
+        "kiss": format_kiss(fsm),
+        "name": fsm.name,
+        "states": tuple(fsm.states),
+        "reset": fsm.reset_state,
+        "encoding": "binary",
+        "idle_fraction": idle_fraction,
+        "frequency": float(frequency_mhz),
+        "num_cycles": num_cycles,
+        "seed": seed,
+        "device": device,
+        "params": params,
+    }
+    outcome = build_design_pipeline().run(config, cache=resolve_cache(cache_path))
+    return outcome.value("design-candidates"), outcome.report

@@ -5,26 +5,41 @@ them with a shared stimulus, verifies cycle-exact equivalence against
 the reference machine (the step the paper performs implicitly by
 construction), extracts switching activities, and runs the power
 estimator at the requested clock frequencies.
+
+The flow itself is the staged pipeline of :mod:`repro.pipeline.stages`
+(``parse`` → ``complete-encode`` → ``ff-synth`` → ``rom-map`` →
+``rom-cc`` → ``simulate`` → ``activity`` → ``power``); this module
+assembles the stage artifacts into the :class:`EvaluationResult` the
+tables consume, and shards independent evaluations across worker
+processes (:func:`evaluate_many`).  Pass ``cache=`` (a directory or an
+:class:`~repro.pipeline.cache.ArtifactCache`) to serve repeated stages
+from the content-addressed artifact store.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
-from repro.arch.device import Device, get_device
-from repro.arch.timing import TimingModel, TimingReport
-from repro.bench.suite import load_benchmark
+from repro.arch.device import Device
+from repro.arch.timing import TimingReport
+from repro.fsm.kiss import format_kiss
 from repro.fsm.machine import FSM
-from repro.fsm.simulate import FsmSimulator, idle_biased_stimulus, random_stimulus
-from repro.power.activity import extract_ff_activity, extract_rom_activity
-from repro.power.estimator import PowerReport, estimate_ff_power, estimate_rom_power
+from repro.pipeline.cache import ArtifactCache, resolve_cache
+from repro.pipeline.driver import RunManifest, run_sharded
+from repro.pipeline.pipeline import PipelineReport
+from repro.pipeline.stages import (
+    PowerBundle,
+    SimulationBundle,
+    build_evaluation_pipeline,
+    paper_moore_output_mode,
+)
+from repro.power.estimator import PowerReport
 from repro.power.params import PowerParams, VIRTEX2_PARAMS
 from repro.romfsm.impl import RomFsmImplementation
 from repro.romfsm.mapper import map_fsm_to_rom
 from repro.synth.ff_synth import FfImplementation, synthesize_ff
-from repro.synth.netsim import simulate_ff_netlist
 
 __all__ = [
     "PAPER_FREQUENCIES_MHZ",
@@ -32,6 +47,9 @@ __all__ = [
     "implement_ff",
     "implement_rom",
     "evaluate_benchmark",
+    "evaluate_benchmark_detailed",
+    "evaluate_many",
+    "evaluation_config",
     "moore_output_mode",
 ]
 
@@ -40,14 +58,8 @@ PAPER_FREQUENCIES_MHZ: Tuple[float, ...] = (50.0, 85.0, 100.0)
 
 DEFAULT_CYCLES = 2000
 
-# prep4 is the paper's explicit Fig. 3 case: "the outputs of prep4 were
-# implemented using the LUTs".
-_EXTERNAL_OUTPUT_BENCHMARKS = frozenset({"prep4"})
-
-
-def moore_output_mode(fsm: FSM) -> str:
-    """Mapper output-placement option used for this circuit."""
-    return "external" if fsm.name in _EXTERNAL_OUTPUT_BENCHMARKS else "auto"
+# Re-exported for API compatibility; the rule lives with the stages now.
+moore_output_mode = paper_moore_output_mode
 
 
 @dataclass
@@ -79,7 +91,7 @@ class EvaluationResult:
 
 
 def implement_ff(fsm: FSM, encoding: str = "binary") -> FfImplementation:
-    """Synthesize the FF/LUT baseline (cached per FSM object id upstream)."""
+    """Synthesize the FF/LUT baseline."""
     return synthesize_ff(fsm, encoding_style=encoding)
 
 
@@ -91,18 +103,8 @@ def implement_rom(
     return map_fsm_to_rom(fsm, clock_control=clock_control, **mapper_kwargs)
 
 
-def _verify_equivalence(fsm: FSM, stimulus: List[int], *streams) -> None:
-    reference = FsmSimulator(fsm).run(stimulus)
-    for label, outputs in streams:
-        if outputs != reference.outputs:
-            raise AssertionError(
-                f"{fsm.name}: {label} implementation diverged from the "
-                f"reference FSM on the shared stimulus"
-            )
-
-
-def evaluate_benchmark(
-    name_or_fsm,
+def evaluation_config(
+    name_or_fsm: Union[str, FSM],
     frequencies_mhz: Sequence[float] = PAPER_FREQUENCIES_MHZ,
     num_cycles: int = DEFAULT_CYCLES,
     idle_fraction: float = 0.5,
@@ -112,6 +114,79 @@ def evaluate_benchmark(
     params: PowerParams = VIRTEX2_PARAMS,
     with_clock_control: bool = True,
     verify: bool = True,
+) -> Dict[str, Any]:
+    """Build the pipeline config dict for one benchmark evaluation.
+
+    A named benchmark is keyed by its name; an ad-hoc FSM object is
+    keyed by its canonical KISS2 text, so the same machine reaches the
+    same cache entries however it enters the flow.
+    """
+    config: Dict[str, Any] = {
+        "frequencies": tuple(float(f) for f in frequencies_mhz),
+        "num_cycles": num_cycles,
+        "idle_fraction": idle_fraction,
+        "seed": seed,
+        "encoding": encoding,
+        "device": device,
+        "params": params,
+        "with_clock_control": with_clock_control,
+        "verify": verify,
+    }
+    if isinstance(name_or_fsm, str):
+        config["benchmark"] = name_or_fsm
+    else:
+        config["fsm"] = name_or_fsm
+        config["kiss"] = format_kiss(name_or_fsm)
+        config["name"] = name_or_fsm.name
+        config["states"] = tuple(name_or_fsm.states)
+        config["reset"] = name_or_fsm.reset_state
+    return config
+
+
+def _assemble_result(result) -> EvaluationResult:
+    sim: SimulationBundle = result.value("simulate")
+    power: PowerBundle = result.value("power")
+    return EvaluationResult(
+        fsm=result.value("parse"),
+        ff_impl=result.value("ff-synth"),
+        rom_impl=result.value("rom-map"),
+        rom_cc_impl=result.get("rom-cc"),
+        ff_power=power.ff_power,
+        rom_power=power.rom_power,
+        rom_cc_power=power.rom_cc_power,
+        achieved_idle_fraction=sim.achieved_idle_fraction,
+        ff_timing=power.ff_timing,
+        rom_timing=power.rom_timing,
+        rom_cc_timing=power.rom_cc_timing,
+    )
+
+
+def evaluate_benchmark_detailed(
+    name_or_fsm: Union[str, FSM],
+    cache: Union[None, bool, str, ArtifactCache] = None,
+    **kwargs,
+) -> Tuple[EvaluationResult, PipelineReport]:
+    """Run the Fig. 6 flow; also return the stage-by-stage run report."""
+    config = evaluation_config(name_or_fsm, **kwargs)
+    pipeline = build_evaluation_pipeline(
+        with_clock_control=config["with_clock_control"]
+    )
+    outcome = pipeline.run(config, cache=resolve_cache(cache))
+    return _assemble_result(outcome), outcome.report
+
+
+def evaluate_benchmark(
+    name_or_fsm: Union[str, FSM],
+    frequencies_mhz: Sequence[float] = PAPER_FREQUENCIES_MHZ,
+    num_cycles: int = DEFAULT_CYCLES,
+    idle_fraction: float = 0.5,
+    seed: int = 2004,
+    encoding: str = "binary",
+    device: Optional[Device] = None,
+    params: PowerParams = VIRTEX2_PARAMS,
+    with_clock_control: bool = True,
+    verify: bool = True,
+    cache: Union[None, bool, str, ArtifactCache] = None,
 ) -> EvaluationResult:
     """Run the full Fig. 6 flow for one benchmark.
 
@@ -120,82 +195,59 @@ def evaluate_benchmark(
     requested target fraction, with the clock-control design verified on
     it as well.
     """
-    fsm = load_benchmark(name_or_fsm) if isinstance(name_or_fsm, str) else name_or_fsm
-    device = device or get_device()
-    timing = TimingModel(interconnect=params.interconnect)
-
-    ff_impl = implement_ff(fsm, encoding)
-    rom_impl = implement_rom(fsm)
-    rom_cc_impl = implement_rom(fsm, clock_control=True) if with_clock_control else None
-
-    stimulus = random_stimulus(fsm.num_inputs, num_cycles, seed=seed)
-    ff_trace = simulate_ff_netlist(ff_impl, stimulus)
-    rom_trace = rom_impl.run(stimulus)
-    if verify:
-        _verify_equivalence(
-            fsm, stimulus,
-            ("FF", ff_trace.output_stream),
-            ("ROM", rom_trace.output_stream),
-        )
-
-    ff_activity = extract_ff_activity(ff_impl, ff_trace)
-    rom_activity = extract_rom_activity(rom_impl, rom_trace)
-
-    ff_power: Dict[str, PowerReport] = {}
-    rom_power: Dict[str, PowerReport] = {}
-    rom_cc_power: Dict[str, PowerReport] = {}
-    for f in frequencies_mhz:
-        key = f"{f:g}"
-        ff_power[key] = estimate_ff_power(ff_impl, ff_activity, f, device, params)
-        rom_power[key] = estimate_rom_power(rom_impl, rom_activity, f, device, params)
-
-    achieved_idle = 0.0
-    rom_cc_timing = None
-    if with_clock_control:
-        idle_stim = idle_biased_stimulus(
-            fsm, num_cycles, idle_fraction=idle_fraction, seed=seed
-        )
-        cc_trace = rom_cc_impl.run(idle_stim)
-        if verify:
-            _verify_equivalence(
-                fsm, idle_stim, ("ROM+clock-control", cc_trace.output_stream)
-            )
-        reference = FsmSimulator(fsm).run(idle_stim)
-        achieved_idle = reference.idle_fraction()
-        cc_activity = extract_rom_activity(rom_cc_impl, cc_trace)
-        for f in frequencies_mhz:
-            key = f"{f:g}"
-            rom_cc_power[key] = estimate_rom_power(
-                rom_cc_impl, cc_activity, f, device, params
-            )
-
-    utilization = device.slice_utilization(ff_impl.utilization)
-    avg_fanout = (
-        sum(n.fanout for n in ff_activity.nets) / len(ff_activity.nets)
-        if ff_activity.nets else 1.0
+    result, _ = evaluate_benchmark_detailed(
+        name_or_fsm,
+        cache=cache,
+        frequencies_mhz=frequencies_mhz,
+        num_cycles=num_cycles,
+        idle_fraction=idle_fraction,
+        seed=seed,
+        encoding=encoding,
+        device=device,
+        params=params,
+        with_clock_control=with_clock_control,
+        verify=verify,
     )
-    ff_timing = timing.ff_implementation(
-        ff_impl.lut_depth, avg_fanout=avg_fanout, utilization=utilization
-    )
-    rom_timing = timing.rom_implementation(
-        mux_levels=rom_impl.mux_levels,
-        series_brams=rom_impl.series_brams,
-    )
-    if with_clock_control:
-        rom_cc_timing = timing.rom_with_clock_control(
-            rom_timing, rom_cc_impl.clock_control.depth
-        )
+    return result
 
-    return EvaluationResult(
-        fsm=fsm,
-        ff_impl=ff_impl,
-        rom_impl=rom_impl,
-        rom_cc_impl=rom_cc_impl,
-        ff_power=ff_power,
-        rom_power=rom_power,
-        rom_cc_power=rom_cc_power,
-        achieved_idle_fraction=achieved_idle,
-        ff_timing=ff_timing,
-        rom_timing=rom_timing,
-        rom_cc_timing=rom_cc_timing,
+
+def _evaluate_shard(item) -> Tuple[str, EvaluationResult, PipelineReport]:
+    """Top-level worker for :func:`run_sharded` (must be picklable)."""
+    label, name_or_fsm, kwargs, cache_dir = item
+    result, report = evaluate_benchmark_detailed(
+        name_or_fsm, cache=cache_dir, **kwargs
     )
+    return label, result, report
+
+
+def evaluate_many(
+    benchmarks: Sequence[Union[str, FSM]],
+    jobs: int = 1,
+    cache: Union[None, bool, str, ArtifactCache] = None,
+    **kwargs,
+) -> Tuple[Dict[str, EvaluationResult], RunManifest]:
+    """Evaluate many benchmarks, sharded across ``jobs`` processes.
+
+    Returns the results keyed by benchmark name (input order preserved:
+    Python dicts iterate in insertion order) plus the run manifest with
+    stage timings and cache hit/miss counts.
+    """
+    resolved = resolve_cache(cache)
+    # Workers re-resolve this value; False (not None) keeps a
+    # "caching off" decision from falling through to REPRO_CACHE_DIR.
+    cache_path = str(resolved.root) if resolved is not None else False
+    items = []
+    for entry in benchmarks:
+        label = entry if isinstance(entry, str) else entry.name
+        items.append((label, entry, kwargs, cache_path))
+
+    start = time.perf_counter()
+    shards = run_sharded(_evaluate_shard, items, jobs=jobs)
+    wall = time.perf_counter() - start
+
+    results: Dict[str, EvaluationResult] = {}
+    manifest = RunManifest(jobs=max(1, jobs), wall_seconds=wall)
+    for label, result, report in shards:
+        results[label] = result
+        manifest.add_report(report)
+    return results, manifest

@@ -9,14 +9,24 @@ paper's single experimental campaign did.
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bench.suite import PAPER_BENCHMARKS
-from repro.flows.flow import PAPER_FREQUENCIES_MHZ, EvaluationResult, evaluate_benchmark
+from repro.flows.flow import PAPER_FREQUENCIES_MHZ, EvaluationResult, evaluate_many
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.driver import RunManifest
 from repro.power.report import format_table
 
-__all__ = ["run_all", "table1", "table2", "table3", "table4", "TableResult"]
+__all__ = [
+    "run_all",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "TableResult",
+    "last_run_manifest",
+    "clear_results_memo",
+]
 
 
 class TableResult:
@@ -41,23 +51,54 @@ class TableResult:
         return self.text
 
 
-@lru_cache(maxsize=4)
-def _cached_results(
-    num_cycles: int, seed: int, idle_fraction: float
-) -> Dict[str, EvaluationResult]:
-    return {
-        name: evaluate_benchmark(
-            name, num_cycles=num_cycles, seed=seed, idle_fraction=idle_fraction
-        )
-        for name in PAPER_BENCHMARKS
-    }
+# In-process memo so the four tables share one evaluation campaign
+# (results are identical for any jobs/cache setting, so neither is part
+# of the memo key).  The cross-process memo is the artifact cache.
+_RESULTS_MEMO: Dict[Tuple[int, int, float], Dict[str, EvaluationResult]] = {}
+_LAST_MANIFEST: Optional[RunManifest] = None
 
 
 def run_all(
-    num_cycles: int = 2000, seed: int = 2004, idle_fraction: float = 0.5
+    num_cycles: int = 2000,
+    seed: int = 2004,
+    idle_fraction: float = 0.5,
+    jobs: int = 1,
+    cache: Union[None, bool, str, ArtifactCache] = None,
 ) -> Dict[str, EvaluationResult]:
-    """Evaluate the full benchmark set (cached across the four tables)."""
-    return _cached_results(num_cycles, seed, idle_fraction)
+    """Evaluate the full benchmark set (memoized across the four tables).
+
+    ``jobs`` shards the nine independent benchmark evaluations across
+    worker processes; ``cache`` (a directory or ready
+    :class:`~repro.pipeline.cache.ArtifactCache`) serves repeated runs
+    from the content-addressed artifact store.  The per-run stage
+    timings and hit/miss counts are available afterwards from
+    :func:`last_run_manifest`.
+    """
+    global _LAST_MANIFEST
+    key = (num_cycles, seed, idle_fraction)
+    if key in _RESULTS_MEMO:
+        return _RESULTS_MEMO[key]
+    results, manifest = evaluate_many(
+        PAPER_BENCHMARKS,
+        jobs=jobs,
+        cache=cache,
+        num_cycles=num_cycles,
+        seed=seed,
+        idle_fraction=idle_fraction,
+    )
+    _RESULTS_MEMO[key] = results
+    _LAST_MANIFEST = manifest
+    return results
+
+
+def last_run_manifest() -> Optional[RunManifest]:
+    """Manifest of the most recent :func:`run_all` campaign (or None)."""
+    return _LAST_MANIFEST
+
+
+def clear_results_memo() -> None:
+    """Drop the in-process results memo (the disk cache is untouched)."""
+    _RESULTS_MEMO.clear()
 
 
 def table1(results: Optional[Dict[str, EvaluationResult]] = None) -> TableResult:

@@ -1,0 +1,187 @@
+"""Content-addressed on-disk artifact cache.
+
+Layout::
+
+    <root>/objects/<key[:2]>/<key>.pkl
+
+where ``key`` is the stage cache key (see :meth:`Stage.cache_key`) and
+each object file holds a pickled ``(fingerprint, value)`` pair.  Writes
+are atomic (temp file + ``os.replace``) so concurrent workers sharing a
+cache directory can only ever observe complete entries; since keys are
+content-addressed, two workers racing on the same key write identical
+bytes and either winner is correct.
+
+Corrupt or unreadable entries are treated as misses and removed, never
+propagated.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "ArtifactCache",
+    "CacheStats",
+    "resolve_cache",
+]
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "romfsm"
+
+_PICKLE_PROTOCOL = 4
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ArtifactCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+        }
+
+
+class ArtifactCache:
+    """Content-addressed pickle store for pipeline stage artifacts."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Tuple[str, Any]]:
+        """Return ``(fingerprint, value)`` for ``key``, or ``None``."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                fingerprint, value = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Corrupt/truncated entry: drop it and treat as a miss.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return fingerprint, value
+
+    def put(self, key: str, fingerprint: str, value: Any) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps((fingerprint, value), protocol=_PICKLE_PROTOCOL)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    # -- maintenance ---------------------------------------------------
+
+    def _entries(self):
+        if not self.objects_dir.is_dir():
+            return
+        for path in self.objects_dir.glob("*/*.pkl"):
+            if not path.name.startswith(".tmp-"):
+                yield path
+
+    @property
+    def entry_count(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self._entries())
+
+    def clear(self) -> int:
+        """Delete every cached object; returns the number removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "root": str(self.root),
+            "entries": self.entry_count,
+            "size_bytes": self.size_bytes,
+            "session": self.stats.as_dict(),
+        }
+
+    def __repr__(self) -> str:
+        return f"ArtifactCache({str(self.root)!r})"
+
+
+def resolve_cache(
+    cache_dir: Union[None, bool, str, Path, ArtifactCache] = None,
+    no_cache: bool = False,
+) -> Optional[ArtifactCache]:
+    """Resolve the cache to use for a run.
+
+    Priority: ``no_cache`` (or ``cache_dir=False``) disables caching
+    outright; an explicit ``cache_dir`` (path or ready
+    :class:`ArtifactCache`) wins next; then the ``REPRO_CACHE_DIR``
+    environment variable; otherwise caching is off and the pipeline
+    computes everything in memory.
+
+    ``False`` exists so an upstream "caching off" decision survives
+    re-resolution: flow entry points resolve their ``cache`` argument
+    again (workers receive it as a plain value), and ``None`` there
+    would fall through to the environment variable.
+    """
+    if no_cache or cache_dir is False:
+        return None
+    if isinstance(cache_dir, ArtifactCache):
+        return cache_dir
+    if cache_dir is not None and cache_dir is not True:
+        return ArtifactCache(cache_dir)
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return ArtifactCache(env)
+    return None

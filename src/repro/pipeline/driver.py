@@ -1,0 +1,143 @@
+"""Process-pool parallel driver and the per-run manifest.
+
+Independent benchmark × frequency × config evaluations share nothing but
+the on-disk artifact cache, so they shard trivially across worker
+processes.  :func:`run_sharded` maps a top-level function over items
+with ``jobs`` workers (inline when ``jobs <= 1`` — no pool overhead, and
+the degenerate case the equivalence tests compare against), preserving
+input order.
+
+:class:`RunManifest` aggregates the per-stage
+:class:`~repro.pipeline.pipeline.StageRecord` streams of every shard
+into the observability summary the ROADMAP asks for: stage timings,
+cache hit/miss counts, worker count, wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Union
+
+from repro.pipeline.pipeline import PipelineReport
+
+__all__ = ["RunManifest", "run_sharded"]
+
+
+def run_sharded(
+    func: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: int = 1,
+) -> List[Any]:
+    """Map ``func`` over ``items`` with ``jobs`` worker processes.
+
+    ``func`` must be a module-level callable and every item/result must
+    be picklable.  Results come back in input order.
+    """
+    if jobs is None or jobs <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(func, items, chunksize=1))
+
+
+@dataclass
+class StageTotals:
+    """Aggregated timings/counters for one stage across all shards."""
+
+    runs: int = 0
+    hits: int = 0
+    misses: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "runs": self.runs,
+            "hits": self.hits,
+            "misses": self.misses,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+@dataclass
+class RunManifest:
+    """Observability summary of one sharded pipeline campaign."""
+
+    jobs: int = 1
+    items: int = 0
+    wall_seconds: float = 0.0
+    stages: Dict[str, StageTotals] = field(default_factory=dict)
+
+    def add_report(self, report: PipelineReport) -> None:
+        self.items += 1
+        for record in report.records:
+            totals = self.stages.setdefault(record.stage, StageTotals())
+            totals.runs += 1
+            totals.seconds += record.seconds
+            if record.cache_hit:
+                totals.hits += 1
+            else:
+                totals.misses += 1
+
+    @classmethod
+    def from_reports(
+        cls,
+        reports: Iterable[PipelineReport],
+        jobs: int = 1,
+        wall_seconds: float = 0.0,
+    ) -> "RunManifest":
+        manifest = cls(jobs=jobs, wall_seconds=wall_seconds)
+        for report in reports:
+            manifest.add_report(report)
+        return manifest
+
+    # -- derived counters ---------------------------------------------
+
+    @property
+    def stage_runs(self) -> int:
+        return sum(t.runs for t in self.stages.values())
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(t.hits for t in self.stages.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(t.misses for t in self.stages.values())
+
+    @property
+    def hit_rate(self) -> float:
+        runs = self.stage_runs
+        return self.cache_hits / runs if runs else 0.0
+
+    # -- serialization -------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "items": self.items,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "stage_runs": self.stage_runs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "stages": {name: t.as_dict() for name, t in sorted(self.stages.items())},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    def summary(self) -> str:
+        """One-line human summary for CLI runs."""
+        return (
+            f"{self.items} evaluation(s), {self.stage_runs} stage runs, "
+            f"{self.cache_hits} cache hit(s) / {self.cache_misses} miss(es), "
+            f"jobs={self.jobs}, wall {self.wall_seconds:.2f}s"
+        )

@@ -1,0 +1,95 @@
+"""The :class:`Stage` abstraction and its content-addressed cache keys.
+
+A stage is a named, versioned pure function from upstream artifacts (its
+``deps``) and a slice of the run configuration (its ``config_keys``) to
+one new artifact.  The cache key commits to everything that can change
+the output::
+
+    SHA-256(stage name, stage version, dep fingerprints, config slice)
+
+Bump a stage's ``version`` whenever its implementation changes
+behaviour; that is the explicit cache-invalidation knob.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Tuple
+
+from repro.pipeline.artifact import Artifact, fingerprint
+
+__all__ = ["Stage", "StageContext"]
+
+
+class StageContext:
+    """What a stage function sees: the run config and upstream artifacts."""
+
+    def __init__(self, config: Mapping[str, Any], artifacts: Mapping[str, Artifact]):
+        self.config = config
+        self._artifacts = artifacts
+
+    def cfg(self, key: str, default: Any = None) -> Any:
+        return self.config.get(key, default)
+
+    def artifact(self, name: str) -> Artifact:
+        return self._artifacts[name]
+
+    def value(self, name: str) -> Any:
+        return self._artifacts[name].value
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Upstream value, or ``default`` when the stage is not present
+        in this pipeline variant (e.g. ``rom-cc`` without clock control)."""
+        art = self._artifacts.get(name)
+        return default if art is None else art.value
+
+
+def _canonical(value: Any) -> Any:
+    """JSON-encodable canonical form of one config value.
+
+    Primitives pass through; sequences recurse; anything richer (a
+    Device, PowerParams, an FSM) is replaced by its content fingerprint
+    so the key stays a small stable string.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    return {"__fingerprint__": fingerprint(value)}
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named pass of the pipeline.
+
+    ``func`` receives a :class:`StageContext` and returns the stage's
+    value; it must be deterministic given its deps and config slice.
+    """
+
+    name: str
+    version: str
+    func: Callable[[StageContext], Any]
+    deps: Tuple[str, ...] = ()
+    config_keys: Tuple[str, ...] = ()
+
+    def cache_key(
+        self,
+        dep_fingerprints: Mapping[str, str],
+        config: Mapping[str, Any],
+    ) -> str:
+        payload = {
+            "stage": self.name,
+            "version": self.version,
+            "deps": [[dep, dep_fingerprints[dep]] for dep in self.deps],
+            "config": {
+                key: _canonical(config.get(key)) for key in self.config_keys
+            },
+        }
+        encoded = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(encoded).hexdigest()

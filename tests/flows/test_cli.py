@@ -31,6 +31,27 @@ class TestParser:
         parser = build_parser()
         args = parser.parse_args(["tables", "--cycles", "10"])
         assert args.cycles == 10
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+
+    def test_pipeline_options(self):
+        args = build_parser().parse_args(
+            ["tables", "--jobs", "4", "--cache-dir", "/tmp/c",
+             "--manifest", "m.json"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.manifest == "m.json"
+
+    def test_cache_subcommand(self):
+        args = build_parser().parse_args(["cache", "stats"])
+        assert args.action == "stats"
+        args = build_parser().parse_args(
+            ["cache", "clear", "--cache-dir", "/tmp/c"]
+        )
+        assert args.action == "clear"
+        assert args.cache_dir == "/tmp/c"
 
     def test_map_options(self):
         args = build_parser().parse_args(
@@ -115,3 +136,52 @@ class TestCommands:
         for index in range(1, 5):
             text = (tmp_path / "tables" / f"table{index}.txt").read_text()
             assert f"Table {index}" in text
+
+    def test_tables_with_jobs_cache_and_manifest(self, tmp_path, capsys):
+        import json
+
+        from repro.flows.tables import clear_results_memo
+
+        clear_results_memo()
+        manifest = tmp_path / "manifest.json"
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "tables", "--cycles", "60", "--seed", "2",
+            "--jobs", "2", "--cache-dir", str(cache_dir),
+            "--manifest", str(manifest),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        assert "[pipeline]" in captured.err
+        data = json.loads(manifest.read_text())
+        assert data["jobs"] == 2
+        assert data["items"] == 9
+        assert data["cache_misses"] == data["stage_runs"]
+        assert (cache_dir / "objects").is_dir()
+        clear_results_memo()
+
+    def test_no_cache_overrides_environment(
+        self, kiss_file, tmp_path, capsys, monkeypatch
+    ):
+        env_dir = tmp_path / "env-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(env_dir))
+        assert main([
+            "eval", kiss_file, "--cycles", "100", "--freq", "100",
+            "--no-cache",
+        ]) == 0
+        assert not env_dir.exists()
+
+    def test_eval_populates_cache(self, kiss_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "eval", kiss_file, "--cycles", "100", "--freq", "100",
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 8" in out
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed 8" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert "entries    : 0" in capsys.readouterr().out

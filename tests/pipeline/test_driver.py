@@ -1,0 +1,105 @@
+"""Tests for the process-pool driver, manifest, and parallel equivalence."""
+
+import json
+
+from repro.flows import tables
+from repro.flows.flow import evaluate_many
+from repro.pipeline.driver import RunManifest, run_sharded
+from repro.pipeline.pipeline import PipelineReport, StageRecord
+
+
+def _square(x):
+    return x * x
+
+
+def _record(stage, hit, seconds=0.25):
+    return StageRecord(
+        stage=stage, version="1", key="k", cache_hit=hit,
+        seconds=seconds, fingerprint="f",
+    )
+
+
+class TestRunSharded:
+    def test_inline_when_single_job(self):
+        assert run_sharded(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_pool_preserves_order(self):
+        assert run_sharded(_square, list(range(8)), jobs=2) == \
+            [x * x for x in range(8)]
+
+    def test_pool_matches_inline(self):
+        items = [5, 3, 8, 1]
+        assert run_sharded(_square, items, jobs=3) == \
+            run_sharded(_square, items, jobs=1)
+
+
+class TestRunManifest:
+    def test_aggregates_reports(self):
+        r1 = PipelineReport([_record("parse", False), _record("power", False)])
+        r2 = PipelineReport([_record("parse", True), _record("power", False)])
+        manifest = RunManifest.from_reports([r1, r2], jobs=2, wall_seconds=1.5)
+        assert manifest.items == 2
+        assert manifest.stage_runs == 4
+        assert manifest.cache_hits == 1
+        assert manifest.cache_misses == 3
+        assert manifest.hit_rate == 0.25
+        assert manifest.stages["parse"].hits == 1
+        assert manifest.stages["parse"].seconds == 0.5
+
+    def test_summary_mentions_counts(self):
+        manifest = RunManifest.from_reports(
+            [PipelineReport([_record("parse", True)])], jobs=4
+        )
+        text = manifest.summary()
+        assert "1 evaluation(s)" in text
+        assert "1 cache hit(s)" in text
+        assert "jobs=4" in text
+
+    def test_write_json(self, tmp_path):
+        manifest = RunManifest.from_reports(
+            [PipelineReport([_record("parse", False)])], jobs=1
+        )
+        path = manifest.write(tmp_path / "run" / "manifest.json")
+        data = json.loads(path.read_text())
+        assert data["stage_runs"] == 1
+        assert data["stages"]["parse"]["misses"] == 1
+
+
+class TestParallelEquivalence:
+    def test_evaluate_many_jobs_equivalence(self):
+        kwargs = dict(num_cycles=150, seed=11)
+        serial, m1 = evaluate_many(["dk14", "donfile"], jobs=1, **kwargs)
+        parallel, m2 = evaluate_many(["dk14", "donfile"], jobs=2, **kwargs)
+        assert list(serial) == list(parallel) == ["dk14", "donfile"]
+        assert m1.items == m2.items == 2
+        assert m1.stage_runs == m2.stage_runs == 16
+        for name in serial:
+            s, p = serial[name], parallel[name]
+            assert s.ff_power["100"].total_mw == p.ff_power["100"].total_mw
+            assert s.rom_power["100"].total_mw == p.rom_power["100"].total_mw
+            assert s.saving_percent() == p.saving_percent()
+            assert s.cc_saving_percent() == p.cc_saving_percent()
+            assert s.achieved_idle_fraction == p.achieved_idle_fraction
+
+    def test_tables_identical_across_job_counts(self):
+        key = dict(num_cycles=120, seed=7, idle_fraction=0.5)
+        tables.clear_results_memo()
+        serial = tables.run_all(jobs=1, **key)
+        serial_text = [
+            t(serial).text
+            for t in (tables.table1, tables.table2, tables.table3,
+                      tables.table4)
+        ]
+        tables.clear_results_memo()
+        parallel = tables.run_all(jobs=2, **key)
+        parallel_text = [
+            t(parallel).text
+            for t in (tables.table1, tables.table2, tables.table3,
+                      tables.table4)
+        ]
+        assert serial_text == parallel_text
+        manifest = tables.last_run_manifest()
+        assert manifest is not None
+        assert manifest.jobs == 2
+        assert manifest.items == len(serial)
+        tables.clear_results_memo()
