@@ -4,14 +4,23 @@ Subcommands mirror the paper's artifacts::
 
     romfsm tables [--cycles N] [--seed S] [--idle F]
                   [--jobs N] [--cache-dir D | --no-cache]  # Tables 1-4
-    romfsm map FILE.kiss2 [--clock-control] [--vhdl OUT.vhd]
-    romfsm eval FILE.kiss2 [--freq MHZ ...]
+    romfsm map FILE.kiss2|BENCH [--clock-control] [--vhdl OUT.vhd]
+    romfsm eval FILE.kiss2|BENCH [--freq MHZ ...]
+    romfsm serve [--port P] [--jobs N] [--max-queue Q] [--timeout S]
+    romfsm submit FILE.kiss2|--benchmark NAME [--port P]
     romfsm bench-stats                                  # suite statistics
     romfsm cache {stats,clear} [--cache-dir D]          # artifact cache
 
 The artifact cache is resolved from ``--cache-dir``, then the
 ``REPRO_CACHE_DIR`` environment variable, and is otherwise off for
-``tables``/``eval`` (``cache`` falls back to ``~/.cache/romfsm``).
+``tables``/``eval`` (``cache`` falls back to ``~/.cache/romfsm``;
+``serve`` caches there by default so requests share one store).
+Logging verbosity comes from ``--log-level`` or ``$REPRO_LOG_LEVEL``
+(default WARNING, so normal output is unchanged).
+
+User mistakes (missing file, unknown benchmark, unparseable KISS2)
+exit with a one-line ``romfsm: error: ...`` and status 2 — never a
+traceback.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.bench.suite import PAPER_BENCHMARKS, benchmark_stats
+from repro.bench.suite import PAPER_BENCHMARKS, benchmark_stats, load_benchmark
 from repro.flows.flow import PAPER_FREQUENCIES_MHZ, evaluate_benchmark
 from repro.flows.tables import (
     last_run_manifest,
@@ -32,12 +41,40 @@ from repro.flows.tables import (
     table4,
 )
 from repro.fsm.kiss import load_kiss_file, save_kiss_file
+from repro.fsm.machine import FSM, FsmError
+from repro.logutil import configure_logging, get_logger, kv
 from repro.pipeline.cache import DEFAULT_CACHE_DIR, resolve_cache
 from repro.power.report import format_table
 from repro.romfsm.mapper import map_fsm_to_rom
 from repro.romfsm.vhdl import rom_fsm_vhdl, rom_fsm_vhdl_structural
 
 __all__ = ["main"]
+
+logger = get_logger("flows.cli")
+
+
+class CliError(Exception):
+    """A user-facing failure: printed as one line, exit status 2."""
+
+
+def _load_fsm_arg(arg: str) -> FSM:
+    """Resolve a positional FSM argument: a ``.kiss2`` path or a
+    benchmark name.  Raises :class:`CliError` with a one-line message on
+    a missing file, unknown name, or unparseable KISS2 text."""
+    path = Path(arg)
+    if path.exists():
+        try:
+            return load_kiss_file(path)
+        except FsmError as exc:
+            raise CliError(f"cannot parse {arg}: {exc}")
+        except OSError as exc:
+            raise CliError(f"cannot read {arg}: {exc}")
+    if arg in PAPER_BENCHMARKS:
+        return load_benchmark(arg)
+    raise CliError(
+        f"{arg!r} is neither a readable .kiss2 file nor a known benchmark "
+        f"(available: {', '.join(PAPER_BENCHMARKS)})"
+    )
 
 
 def _add_cache_options(parser: argparse.ArgumentParser) -> None:
@@ -95,7 +132,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
-    fsm = load_kiss_file(args.file)
+    fsm = _load_fsm_arg(args.file)
     impl = map_fsm_to_rom(
         fsm,
         clock_control=args.clock_control,
@@ -123,7 +160,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
-    fsm = load_kiss_file(args.file)
+    fsm = _load_fsm_arg(args.file)
     result = evaluate_benchmark(
         fsm,
         frequencies_mhz=args.freq,
@@ -199,6 +236,69 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import ServerConfig, run_server
+
+    cache = True if not args.no_cache else False
+    if args.cache_dir and not args.no_cache:
+        cache = args.cache_dir
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        max_queue=args.max_queue,
+        timeout_s=args.timeout,
+        cache=cache,
+        executor=args.executor,
+        max_body_bytes=args.max_body_bytes,
+        drain_grace_s=args.drain_grace,
+    )
+    logger.info(kv("serve_cli", host=args.host, port=args.port))
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(
+        host=args.host, port=args.port, timeout_s=args.timeout
+    )
+    options = {}
+    if args.freq:
+        options["frequencies_mhz"] = args.freq
+    if args.cycles is not None:
+        options["num_cycles"] = args.cycles
+    try:
+        if args.benchmark:
+            if args.kind == "evaluate":
+                reply = client.evaluate(benchmark=args.benchmark, **options)
+            else:
+                reply = client.map(benchmark=args.benchmark)
+        else:
+            if args.file is None:
+                raise CliError("provide a .kiss2 file or --benchmark NAME")
+            if not Path(args.file).exists():
+                raise CliError(f"no such file: {args.file}")
+            if args.kind == "map":
+                options = {}
+            reply = client.submit_file(args.file, kind=args.kind, **options)
+    except ServiceError as exc:
+        raise CliError(
+            f"service at {args.host}:{args.port} answered {exc.status or 'n/a'} "
+            f"{exc.reason}: {exc.message}"
+        )
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_bench_stats(_args: argparse.Namespace) -> int:
     rows = []
     for name in PAPER_BENCHMARKS:
@@ -225,6 +325,11 @@ def build_parser() -> argparse.ArgumentParser:
             "(DATE 2004 reproduction)"
         ),
     )
+    parser.add_argument(
+        "--log-level", metavar="LEVEL",
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="structured-log verbosity (default: $REPRO_LOG_LEVEL or warning)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("tables", help="regenerate the paper's Tables 1-4")
@@ -239,7 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_tables)
 
     p = sub.add_parser("map", help="map a .kiss2 FSM into block RAM")
-    p.add_argument("file")
+    p.add_argument("file", help=".kiss2 file or paper benchmark name")
     p.add_argument("--clock-control", action="store_true")
     p.add_argument("--moore-outputs", default="auto",
                    choices=["auto", "external", "internal"])
@@ -251,7 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_map)
 
     p = sub.add_parser("eval", help="power-compare both implementations")
-    p.add_argument("file")
+    p.add_argument("file", help=".kiss2 file or paper benchmark name")
     p.add_argument("--freq", type=float, nargs="+",
                    default=list(PAPER_FREQUENCIES_MHZ))
     p.add_argument("--cycles", type=int, default=2000)
@@ -279,6 +384,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vhdl", help="also write structural VHDL here")
     p.set_defaults(func=_cmd_blif)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the async compilation service (coalescing, admission "
+             "control, /metrics, /healthz, graceful drain)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000)
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="worker processes for pipeline execution (default 2)")
+    p.add_argument("--max-queue", type=int, default=32, metavar="Q",
+                   help="jobs allowed to wait for a worker before new "
+                        "requests get 429 overloaded (default 32)")
+    p.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                   help="per-request budget in seconds (default 120)")
+    p.add_argument("--executor", default="process",
+                   choices=["process", "thread"],
+                   help="where pipeline work runs (default process)")
+    p.add_argument("--max-body-bytes", type=int, default=1024 * 1024,
+                   metavar="B", help="reject larger request bodies with 413")
+    p.add_argument("--drain-grace", type=float, default=30.0, metavar="S",
+                   help="seconds to let in-flight work finish on SIGTERM")
+    _add_cache_options(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="send one evaluate/map request to a running server"
+    )
+    p.add_argument("file", nargs="?", help=".kiss2 file to upload")
+    p.add_argument("--benchmark", metavar="NAME",
+                   help="evaluate a named paper benchmark instead of a file")
+    p.add_argument("--kind", default="evaluate", choices=["evaluate", "map"])
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000)
+    p.add_argument("--timeout", type=float, default=300.0, metavar="S")
+    p.add_argument("--freq", type=float, nargs="+", metavar="MHZ")
+    p.add_argument("--cycles", type=int, metavar="N")
+    p.set_defaults(func=_cmd_submit)
+
     p = sub.add_parser("bench-stats", help="print benchmark STG statistics")
     p.set_defaults(func=_cmd_bench_stats)
 
@@ -294,7 +437,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    configure_logging(args.log_level)
+    logger.debug(kv("command", name=args.command))
+    try:
+        return args.func(args)
+    except CliError as exc:
+        print(f"romfsm: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -164,14 +164,22 @@ def _assemble_result(result) -> EvaluationResult:
 def evaluate_benchmark_detailed(
     name_or_fsm: Union[str, FSM],
     cache: Union[None, bool, str, ArtifactCache] = None,
+    should_cancel=None,
     **kwargs,
 ) -> Tuple[EvaluationResult, PipelineReport]:
-    """Run the Fig. 6 flow; also return the stage-by-stage run report."""
+    """Run the Fig. 6 flow; also return the stage-by-stage run report.
+
+    ``should_cancel`` is polled at stage boundaries (see
+    :meth:`~repro.pipeline.pipeline.Pipeline.run`); the service passes
+    it so an evaluation every requester has abandoned stops early.
+    """
     config = evaluation_config(name_or_fsm, **kwargs)
     pipeline = build_evaluation_pipeline(
         with_clock_control=config["with_clock_control"]
     )
-    outcome = pipeline.run(config, cache=resolve_cache(cache))
+    outcome = pipeline.run(
+        config, cache=resolve_cache(cache), should_cancel=should_cancel
+    )
     return _assemble_result(outcome), outcome.report
 
 

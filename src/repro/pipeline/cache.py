@@ -173,7 +173,10 @@ def resolve_cache(
     ``False`` exists so an upstream "caching off" decision survives
     re-resolution: flow entry points resolve their ``cache`` argument
     again (workers receive it as a plain value), and ``None`` there
-    would fall through to the environment variable.
+    would fall through to the environment variable.  ``True`` is the
+    mirror image — "definitely cache": the environment variable still
+    wins, else the default user cache directory.  The long-lived server
+    uses it so every request shares one artifact store by default.
     """
     if no_cache or cache_dir is False:
         return None
@@ -184,4 +187,6 @@ def resolve_cache(
     env = os.environ.get(CACHE_DIR_ENV)
     if env:
         return ArtifactCache(env)
+    if cache_dir is True:
+        return ArtifactCache(DEFAULT_CACHE_DIR)
     return None

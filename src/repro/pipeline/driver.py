@@ -16,14 +16,19 @@ cache hit/miss counts, worker count, wall-clock.
 from __future__ import annotations
 
 import json
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Sequence, Union
 
-from repro.pipeline.pipeline import PipelineReport
+from repro.logutil import get_logger, kv
+from repro.pipeline.pipeline import PipelineReport, StageRecord
 
 __all__ = ["RunManifest", "run_sharded"]
+
+logger = get_logger("pipeline.driver")
 
 
 def run_sharded(
@@ -36,10 +41,20 @@ def run_sharded(
     ``func`` must be a module-level callable and every item/result must
     be picklable.  Results come back in input order.
     """
+    start = time.perf_counter()
     if jobs is None or jobs <= 1 or len(items) <= 1:
-        return [func(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(func, items, chunksize=1))
+        logger.debug(kv("shard_run", mode="inline", items=len(items)))
+        results = [func(item) for item in items]
+    else:
+        workers = min(jobs, len(items))
+        logger.debug(kv("shard_run", mode="pool", items=len(items), jobs=workers))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(func, items, chunksize=1))
+    logger.info(kv(
+        "shard_done", items=len(items), jobs=max(1, jobs or 1),
+        seconds=time.perf_counter() - start,
+    ))
+    return results
 
 
 @dataclass
@@ -69,16 +84,39 @@ class RunManifest:
     wall_seconds: float = 0.0
     stages: Dict[str, StageTotals] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # The service aggregates into one shared manifest from executor
+        # threads and loop callbacks concurrently; plain CLI use pays a
+        # few uncontended acquisitions.
+        self._lock = threading.Lock()
+
     def add_report(self, report: PipelineReport) -> None:
-        self.items += 1
-        for record in report.records:
-            totals = self.stages.setdefault(record.stage, StageTotals())
-            totals.runs += 1
-            totals.seconds += record.seconds
-            if record.cache_hit:
-                totals.hits += 1
-            else:
-                totals.misses += 1
+        self.add_records(report.records)
+
+    def add_records(self, records: Iterable[StageRecord]) -> None:
+        """Fold a stream of stage records in as one more evaluation."""
+        with self._lock:
+            self.items += 1
+            for record in records:
+                totals = self.stages.setdefault(record.stage, StageTotals())
+                totals.runs += 1
+                totals.seconds += record.seconds
+                if record.cache_hit:
+                    totals.hits += 1
+                else:
+                    totals.misses += 1
+
+    def merge(self, other: "RunManifest") -> None:
+        """Fold another manifest's totals into this one (metrics hook)."""
+        with self._lock:
+            self.items += other.items
+            self.wall_seconds += other.wall_seconds
+            for name, theirs in other.stages.items():
+                totals = self.stages.setdefault(name, StageTotals())
+                totals.runs += theirs.runs
+                totals.hits += theirs.hits
+                totals.misses += theirs.misses
+                totals.seconds += theirs.seconds
 
     @classmethod
     def from_reports(

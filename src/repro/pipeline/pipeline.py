@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.pipeline.artifact import Artifact, fingerprint
 from repro.pipeline.cache import ArtifactCache
@@ -19,6 +19,7 @@ from repro.pipeline.stage import Stage, StageContext
 
 __all__ = [
     "Pipeline",
+    "PipelineCancelled",
     "PipelineError",
     "PipelineReport",
     "PipelineResult",
@@ -28,6 +29,19 @@ __all__ = [
 
 class PipelineError(ValueError):
     """Malformed pipeline: duplicate stage names or unresolvable deps."""
+
+
+class PipelineCancelled(RuntimeError):
+    """Raised between stages when a run's ``should_cancel`` turns true.
+
+    Carries the partial report so callers (the service's timed-out
+    requests in particular) can still account for the stages that ran.
+    """
+
+    def __init__(self, stage: str, report: "PipelineReport"):
+        super().__init__(f"pipeline cancelled before stage {stage!r}")
+        self.stage = stage
+        self.report = report
 
 
 @dataclass(frozen=True)
@@ -103,10 +117,20 @@ class Pipeline:
         self,
         config: Mapping[str, Any],
         cache: Optional[ArtifactCache] = None,
+        should_cancel: Optional[Callable[[], bool]] = None,
     ) -> PipelineResult:
+        """Execute the stages in order.
+
+        ``should_cancel`` (when given) is polled before each stage; a
+        true result raises :class:`PipelineCancelled` with the partial
+        report, so a long run can be abandoned at the next stage
+        boundary once every requester has given up on it.
+        """
         artifacts: Dict[str, Artifact] = {}
         records: List[StageRecord] = []
         for stage in self.stages:
+            if should_cancel is not None and should_cancel():
+                raise PipelineCancelled(stage.name, PipelineReport(records))
             dep_fps = {dep: artifacts[dep].fingerprint for dep in stage.deps}
             key = stage.cache_key(dep_fps, config)
             start = time.perf_counter()

@@ -1,0 +1,30 @@
+"""The long-lived compilation service.
+
+An asyncio frontend over the staged evaluation pipeline: validates and
+fingerprints requests with the pipeline's canonical hashing, coalesces
+concurrent identical requests onto one execution, applies bounded
+admission control, enforces per-request timeouts with stage-boundary
+cancellation, and exposes Prometheus-style metrics plus a health probe.
+
+Entry points::
+
+    romfsm serve --port 8000 --jobs 4 --max-queue 64 --timeout 120
+    romfsm submit design.kiss2 --port 8000
+
+or programmatically via :class:`~repro.service.server.CompileServer`
+and :class:`~repro.service.client.ServiceClient`.
+"""
+
+from repro.service.jobs import Job, JobError, parse_job, run_job
+from repro.service.metrics import MetricsRegistry
+from repro.service.server import CompileServer, ServerConfig
+
+__all__ = [
+    "CompileServer",
+    "Job",
+    "JobError",
+    "MetricsRegistry",
+    "ServerConfig",
+    "parse_job",
+    "run_job",
+]

@@ -1,0 +1,146 @@
+"""Small synchronous client for the compilation service.
+
+Stdlib :mod:`http.client` only; one connection per call (the server is
+``Connection: close``).  Raises :class:`ServiceError` for any non-2xx
+answer, carrying the server's machine-readable ``error`` slug so
+callers can branch on ``overloaded`` / ``timeout`` / validation
+failures.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from http.client import HTTPConnection
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response; ``reason`` is the server's error slug."""
+
+    def __init__(self, status: int, reason: str, message: str):
+        super().__init__(f"{status} {reason}: {message}")
+        self.status = status
+        self.reason = reason
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to a running ``romfsm serve`` instance."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        timeout_s: float = 300.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ):
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            return response.status, response.getheader("Content-Type", ""), raw
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            raise ServiceError(
+                0, "unreachable",
+                f"cannot reach {self.host}:{self.port}: {exc}",
+            ) from exc
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str, body=None) -> Dict[str, Any]:
+        status, _ctype, raw = self._request(method, path, body)
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(status, "bad_response", raw[:200].decode(
+                "utf-8", "replace")) from exc
+        if not (200 <= status < 300):
+            raise ServiceError(
+                status,
+                decoded.get("error", "error"),
+                decoded.get("message", ""),
+            )
+        return decoded
+
+    # -- endpoints -----------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        status, _ctype, raw = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, "error", raw[:200].decode("utf-8", "replace"))
+        return raw.decode("utf-8")
+
+    def evaluate(
+        self,
+        benchmark: Optional[str] = None,
+        kiss: Optional[str] = None,
+        name: Optional[str] = None,
+        frequencies_mhz: Optional[Sequence[float]] = None,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = dict(options)
+        if benchmark is not None:
+            body["benchmark"] = benchmark
+        if kiss is not None:
+            body["kiss"] = kiss
+        if name is not None:
+            body["name"] = name
+        if frequencies_mhz is not None:
+            body["frequencies_mhz"] = list(frequencies_mhz)
+        return self._json("POST", "/v1/evaluate", body)
+
+    def map(
+        self,
+        benchmark: Optional[str] = None,
+        kiss: Optional[str] = None,
+        name: Optional[str] = None,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = dict(options)
+        if benchmark is not None:
+            body["benchmark"] = benchmark
+        if kiss is not None:
+            body["kiss"] = kiss
+        if name is not None:
+            body["name"] = name
+        return self._json("POST", "/v1/map", body)
+
+    def submit_file(
+        self,
+        path: Union[str, Path],
+        kind: str = "evaluate",
+        **options: Any,
+    ) -> Dict[str, Any]:
+        """Evaluate/map a ``.kiss2`` file by uploading its text."""
+        path = Path(path)
+        kiss = path.read_text()
+        name = path.stem.replace("-", "_") or "fsm"
+        if kind == "evaluate":
+            return self.evaluate(kiss=kiss, name=name, **options)
+        if kind == "map":
+            return self.map(kiss=kiss, name=name, **options)
+        raise ValueError(f"unknown kind {kind!r}")

@@ -1,0 +1,282 @@
+"""First-class service observability: counters, gauges, histograms.
+
+A deliberately small, stdlib-only metrics core that renders the
+Prometheus text exposition format for the ``/metrics`` endpoint.
+Counters and gauges support static label sets through ``labels()``
+children; histograms keep exact counts per bucket plus a bounded
+reservoir of recent observations for the p50/p95/p99 summary gauges
+(request latency is the one distribution we track, so a 4Ki reservoir
+is plenty and keeps memory constant under load).
+
+All mutations take a lock: the server updates metrics from the event
+loop *and* from executor threads (stage records arrive with results).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left, insort
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_labels",
+]
+
+# Latency buckets (seconds) for the request-duration histogram: the
+# pipeline spans ~10ms cache hits to multi-second cold planet runs.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_RESERVOIR_SIZE = 4096
+
+
+def render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Metric:
+    """Shared name/help/type plumbing for one metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str):
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+
+    def header(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def render(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonic counter with optional static label children."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str):
+        super().__init__(name, help_text)
+        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}
+
+    def labels(self, **labels: str) -> "_CounterChild":
+        return _CounterChild(self, tuple(sorted(labels.items())))
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._values.values())
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items:
+            lines.append(f"{self.name} 0")
+        for key, value in items:
+            lines.append(f"{self.name}{render_labels(dict(key))} {_num(value)}")
+        return lines
+
+
+class _CounterChild:
+    def __init__(self, parent: Counter, key: Tuple[Tuple[str, str], ...]):
+        self._parent = parent
+        self._key = dict(key)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._parent.inc(amount, **self._key)
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, in-flight)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str):
+        super().__init__(name, help_text)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> List[str]:
+        return self.header() + [f"{self.name} {_num(self.value())}"]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram plus exact quantiles over a reservoir.
+
+    Prometheus gets the classic ``_bucket``/``_sum``/``_count`` series;
+    :meth:`quantile` answers p50/p95/p99 from the most recent
+    observations (exact while fewer than the reservoir size have been
+    seen, sliding-window after).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help_text)
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self._bucket_counts = [0] * (len(self.buckets) + 1)  # +Inf last
+        self._count = 0
+        self._sum = 0.0
+        self._recent: List[float] = []   # insertion order (eviction)
+        self._sorted: List[float] = []   # kept sorted (quantiles)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._bucket_counts[bisect_left(self.buckets, value)] += 1
+            if len(self._recent) >= _RESERVOIR_SIZE:
+                oldest = self._recent.pop(0)
+                del self._sorted[bisect_left(self._sorted, oldest)]
+            self._recent.append(value)
+            insort(self._sorted, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of recent observations, 0.0 if none."""
+        with self._lock:
+            if not self._sorted:
+                return 0.0
+            index = min(
+                len(self._sorted) - 1,
+                max(0, round(q * (len(self._sorted) - 1))),
+            )
+            return self._sorted[index]
+
+    def percentiles(self) -> Dict[str, float]:
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total, total_sum = self._count, self._sum
+        cumulative = 0
+        for bound, count in zip(self.buckets, counts):
+            cumulative += count
+            lines.append(
+                f'{self.name}_bucket{{le="{_num(bound)}"}} {cumulative}'
+            )
+        cumulative += counts[-1]
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{self.name}_sum {_num(total_sum)}")
+        lines.append(f"{self.name}_count {total}")
+        for label, value in self.percentiles().items():
+            lines.append(
+                f'{self.name}_quantile{{quantile="{label}"}} {_num(value)}'
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """Ordered collection of metrics rendered as one exposition page."""
+
+    def __init__(self):
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help_text))
+
+    def gauge(self, name: str, help_text: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help_text))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, help_text, buckets)
+        )
+
+    def _get_or_create(self, name: str, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            return metric
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render(self, extra_lines: Iterable[str] = ()) -> str:
+        """The full Prometheus text page (plus caller-supplied lines)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        lines.extend(extra_lines)
+        return "\n".join(lines) + "\n"
+
+
+def _num(value: float) -> str:
+    """Prometheus-friendly number: integral floats without the ``.0``."""
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))

@@ -64,6 +64,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_options(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "9100", "--jobs", "4", "--max-queue", "16",
+            "--timeout", "30", "--executor", "thread",
+        ])
+        assert args.port == 9100
+        assert args.jobs == 4
+        assert args.max_queue == 16
+        assert args.timeout == 30.0
+        assert args.executor == "thread"
+
+    def test_submit_options(self):
+        args = build_parser().parse_args([
+            "submit", "--benchmark", "dk14", "--port", "9100",
+            "--freq", "50", "100",
+        ])
+        assert args.benchmark == "dk14"
+        assert args.freq == [50.0, 100.0]
+        assert args.file is None
+
+    def test_log_level_flag(self):
+        args = build_parser().parse_args(["--log-level", "debug", "bench-stats"])
+        assert args.log_level == "debug"
+
 
 class TestCommands:
     def test_bench_stats(self, capsys):
@@ -160,6 +184,16 @@ class TestCommands:
         assert (cache_dir / "objects").is_dir()
         clear_results_memo()
 
+    def test_eval_accepts_benchmark_name(self, capsys):
+        assert main([
+            "eval", "dk14", "--cycles", "100", "--freq", "100",
+        ]) == 0
+        assert "saving @ 100 MHz" in capsys.readouterr().out
+
+    def test_map_accepts_benchmark_name(self, capsys):
+        assert main(["map", "dk14"]) == 0
+        assert "BRAM config" in capsys.readouterr().out
+
     def test_no_cache_overrides_environment(
         self, kiss_file, tmp_path, capsys, monkeypatch
     ):
@@ -185,3 +219,51 @@ class TestCommands:
         assert "removed 8" in capsys.readouterr().out
         assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
         assert "entries    : 0" in capsys.readouterr().out
+
+
+class TestFriendlyErrors:
+    """User mistakes exit 2 with one ``romfsm: error:`` line, no traceback."""
+
+    def _assert_one_line_error(self, capsys, needle):
+        captured = capsys.readouterr()
+        lines = [l for l in captured.err.strip().splitlines() if l]
+        assert len(lines) == 1
+        assert lines[0].startswith("romfsm: error:")
+        assert needle in lines[0]
+        assert "Traceback" not in captured.err
+
+    def test_eval_unknown_benchmark(self, capsys):
+        assert main(["eval", "nosuchbench"]) == 2
+        self._assert_one_line_error(capsys, "nosuchbench")
+
+    def test_map_unknown_benchmark(self, capsys):
+        assert main(["map", "nosuchbench"]) == 2
+        self._assert_one_line_error(capsys, "nosuchbench")
+
+    def test_eval_unparseable_kiss(self, tmp_path, capsys):
+        bad = tmp_path / "bad.kiss2"
+        bad.write_text("this is not kiss2\n")
+        assert main(["eval", str(bad)]) == 2
+        self._assert_one_line_error(capsys, "cannot parse")
+
+    def test_map_unparseable_kiss(self, tmp_path, capsys):
+        bad = tmp_path / "bad.kiss2"
+        bad.write_text(".i 1\n.o 1\nbroken line here\n")
+        assert main(["map", str(bad)]) == 2
+        self._assert_one_line_error(capsys, "cannot parse")
+
+    def test_missing_file_lists_benchmarks(self, capsys):
+        assert main(["eval", "missing.kiss2"]) == 2
+        self._assert_one_line_error(capsys, "dk14")
+
+    def test_submit_without_target(self, capsys):
+        assert main(["submit"]) == 2
+        self._assert_one_line_error(capsys, "--benchmark")
+
+    def test_submit_unreachable_server(self, tmp_path, capsys):
+        kiss = tmp_path / "x.kiss2"
+        kiss.write_text(DETECTOR)
+        assert main([
+            "submit", str(kiss), "--port", "1", "--timeout", "2",
+        ]) == 2
+        self._assert_one_line_error(capsys, "unreachable")

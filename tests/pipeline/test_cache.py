@@ -114,3 +114,23 @@ class TestResolveCache:
         cache = resolve_cache()
         assert isinstance(cache, ArtifactCache)
         assert cache.root == tmp_path / "env"
+
+
+class TestResolveCacheTrue:
+    def test_true_prefers_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        cache = resolve_cache(True)
+        assert cache is not None
+        assert cache.root == tmp_path / "env"
+
+    def test_true_falls_back_to_default_dir(self, monkeypatch):
+        from repro.pipeline.cache import DEFAULT_CACHE_DIR
+
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        cache = resolve_cache(True)
+        assert cache is not None
+        assert cache.root == DEFAULT_CACHE_DIR
+
+    def test_no_cache_beats_true(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert resolve_cache(True, no_cache=True) is None

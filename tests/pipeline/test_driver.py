@@ -103,3 +103,55 @@ class TestParallelEquivalence:
         assert manifest.jobs == 2
         assert manifest.items == len(serial)
         tables.clear_results_memo()
+
+
+class TestManifestHooks:
+    def test_add_records_counts_an_item(self):
+        from repro.pipeline.driver import RunManifest
+        from repro.pipeline.pipeline import StageRecord
+
+        manifest = RunManifest()
+        manifest.add_records([
+            StageRecord("parse", "1", "k1", False, 0.25, "fp1"),
+            StageRecord("power", "1", "k2", True, 0.5, "fp2"),
+        ])
+        assert manifest.items == 1
+        assert manifest.stage_runs == 2
+        assert manifest.cache_hits == 1
+        assert manifest.stages["parse"].misses == 1
+
+    def test_merge_folds_totals(self):
+        from repro.pipeline.driver import RunManifest
+        from repro.pipeline.pipeline import StageRecord
+
+        a = RunManifest(wall_seconds=1.0)
+        b = RunManifest(wall_seconds=2.0)
+        for manifest in (a, b):
+            manifest.add_records([
+                StageRecord("parse", "1", "k", False, 0.25, "fp"),
+            ])
+        a.merge(b)
+        assert a.items == 2
+        assert a.wall_seconds == 3.0
+        assert a.stages["parse"].runs == 2
+
+    def test_concurrent_add_records_is_consistent(self):
+        import threading
+
+        from repro.pipeline.driver import RunManifest
+        from repro.pipeline.pipeline import StageRecord
+
+        manifest = RunManifest()
+        record = StageRecord("parse", "1", "k", True, 0.001, "fp")
+
+        def hammer():
+            for _ in range(200):
+                manifest.add_records([record])
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert manifest.items == 1600
+        assert manifest.stages["parse"].runs == 1600

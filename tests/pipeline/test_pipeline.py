@@ -130,3 +130,22 @@ class TestCaching:
         plain = build().run({"base": 5})
         assert [r.fingerprint for r in cached.report.records] == \
             [r.fingerprint for r in plain.report.records]
+
+
+class TestCancellation:
+    def test_should_cancel_stops_between_stages(self):
+        from repro.pipeline.pipeline import PipelineCancelled
+
+        calls = []
+        flags = iter([False, True])
+        with pytest.raises(PipelineCancelled) as exc:
+            build(calls).run({"base": 2}, should_cancel=lambda: next(flags))
+        assert calls == ["src"]  # first stage ran, second never started
+        assert exc.value.stage == "dbl"
+        assert [r.stage for r in exc.value.report.records] == ["src"]
+
+    def test_no_cancel_runs_to_completion(self):
+        calls = []
+        result = build(calls).run({"base": 2}, should_cancel=lambda: False)
+        assert calls == ["src", "dbl"]
+        assert result.value("dbl") == 40

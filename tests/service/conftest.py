@@ -1,0 +1,83 @@
+"""Shared helpers for the service tests.
+
+No pytest-asyncio in the toolchain: each test drives its own event loop
+with ``asyncio.run`` via :func:`run_async`, and talks to the server over
+real loopback sockets with :func:`http_request` (raw HTTP/1.1, so the
+framing layer is exercised too).
+"""
+
+import asyncio
+import contextlib
+import json
+
+import pytest
+
+from repro.service.server import CompileServer, ServerConfig
+
+DETECTOR_KISS = """
+.i 1
+.o 1
+.r A
+0 A B 0
+1 A A 0
+0 B B 0
+1 B C 0
+0 C D 0
+1 C A 0
+0 D B 0
+1 D C 1
+"""
+
+
+def run_async(coro, timeout=60.0):
+    """Run one async test body with a hard timeout."""
+    async def bounded():
+        return await asyncio.wait_for(coro, timeout=timeout)
+    return asyncio.run(bounded())
+
+
+@contextlib.asynccontextmanager
+async def serving(config=None, runner=None):
+    """A started :class:`CompileServer` on an ephemeral port."""
+    config = config or ServerConfig(port=0, executor="thread", cache=False)
+    server = CompileServer(config, runner=runner)
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop()
+
+
+async def http_request(port, method, path, body=None, raw_body=None,
+                       host="127.0.0.1", extra_headers=""):
+    """One raw HTTP/1.1 exchange; returns ``(status, decoded-or-text)``."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = raw_body
+        if payload is None:
+            payload = (
+                json.dumps(body).encode("utf-8") if body is not None else b""
+            )
+        head = f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+        if payload:
+            head += f"Content-Length: {len(payload)}\r\n"
+        head += extra_headers + "\r\n"
+        writer.write(head.encode("utf-8") + payload)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+    head_part, _, body_part = raw.partition(b"\r\n\r\n")
+    status = int(head_part.split(b" ", 2)[1])
+    text = body_part.decode("utf-8")
+    try:
+        return status, json.loads(text)
+    except json.JSONDecodeError:
+        return status, text
+
+
+@pytest.fixture
+def detector_kiss():
+    return DETECTOR_KISS

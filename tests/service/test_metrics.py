@@ -1,0 +1,111 @@
+"""Unit tests for the stdlib metrics core."""
+
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_labels,
+)
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        c = Counter("x_total", "help")
+        c.inc()
+        c.inc(2.0)
+        assert c.total() == 3.0
+
+    def test_labelled_children_are_independent(self):
+        c = Counter("req_total", "help")
+        c.inc(route="/a", status="200")
+        c.inc(route="/a", status="200")
+        c.inc(route="/b", status="500")
+        assert c.value(route="/a", status="200") == 2
+        assert c.value(route="/b", status="500") == 1
+        assert c.value(route="/c", status="200") == 0
+        child = c.labels(route="/a", status="200")
+        child.inc()
+        assert c.value(route="/a", status="200") == 3
+
+    def test_render_includes_labels_sorted(self):
+        c = Counter("req_total", "requests")
+        c.inc(status="200", route="/a")
+        text = "\n".join(c.render())
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{route="/a",status="200"} 1' in text
+
+    def test_render_zero_when_untouched(self):
+        assert "req_total 0" in "\n".join(Counter("req_total", "h").render())
+
+
+class TestGauge:
+    def test_inc_dec_set(self):
+        g = Gauge("depth", "help")
+        g.inc()
+        g.inc()
+        g.dec()
+        assert g.value() == 1
+        g.set(7.5)
+        assert g.value() == 7.5
+        assert "depth 7.5" in "\n".join(g.render())
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative(self):
+        h = Histogram("lat", "help", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        text = "\n".join(h.render())
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 3' in text
+        assert 'lat_bucket{le="10"} 4' in text
+        assert 'lat_bucket{le="+Inf"} 5' in text
+        assert "lat_count 5" in text
+
+    def test_percentiles(self):
+        h = Histogram("lat", "help")
+        for i in range(1, 101):
+            h.observe(float(i))
+        p = h.percentiles()
+        assert 49 <= p["p50"] <= 52
+        assert 94 <= p["p95"] <= 97
+        assert 98 <= p["p99"] <= 100
+        assert "p95" in "\n".join(h.render())
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("lat", "h").quantile(0.99) == 0.0
+
+    def test_reservoir_is_bounded(self):
+        from repro.service.metrics import _RESERVOIR_SIZE
+
+        h = Histogram("lat", "help")
+        for i in range(_RESERVOIR_SIZE + 100):
+            h.observe(float(i))
+        assert h.count == _RESERVOIR_SIZE + 100
+        assert len(h._sorted) == _RESERVOIR_SIZE
+        # The oldest observations were evicted, so the minimum moved up.
+        assert h.quantile(0.0) == 100.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total", "other help ignored")
+        assert a is b
+
+    def test_render_concatenates_and_appends_extra(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "ha").inc()
+        reg.gauge("b", "hb").set(2)
+        page = reg.render(extra_lines=["custom_line 42"])
+        assert "a_total 1" in page
+        assert "b 2" in page
+        assert page.rstrip().endswith("custom_line 42")
+        assert page.endswith("\n")
+
+
+def test_render_labels_escapes():
+    out = render_labels({"k": 'va"l\n'})
+    assert out == '{k="va\\"l\\n"}'
