@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.bench.suite import PAPER_BENCHMARKS, benchmark_stats, load_benchmark
-from repro.flows.flow import PAPER_FREQUENCIES_MHZ, evaluate_benchmark
+from repro.flows.flow import PAPER_FREQUENCIES_MHZ, evaluate_benchmark_detailed
 from repro.flows.tables import (
     last_run_manifest,
     run_all,
@@ -159,9 +159,29 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_eval_profile(report) -> None:
+    """Per-stage timing table of one evaluation (``eval --profile``).
+
+    Reuses the :class:`~repro.pipeline.driver.RunManifest` aggregation
+    the ``tables`` command already records — no extra instrumentation;
+    stages appear in execution order.
+    """
+    from repro.pipeline.driver import RunManifest
+
+    manifest = RunManifest.from_reports([report])
+    rows = [
+        [name, totals.hits, totals.misses, f"{totals.seconds:.3f}"]
+        for name, totals in manifest.stages.items()
+    ]
+    rows.append(["total", manifest.cache_hits, manifest.cache_misses,
+                 f"{report.seconds:.3f}"])
+    print(format_table(["stage", "hits", "misses", "seconds"], rows))
+    print()
+
+
 def _cmd_eval(args: argparse.Namespace) -> int:
     fsm = _load_fsm_arg(args.file)
-    result = evaluate_benchmark(
+    result, report = evaluate_benchmark_detailed(
         fsm,
         frequencies_mhz=args.freq,
         num_cycles=args.cycles,
@@ -169,6 +189,8 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         seed=args.seed,
         cache=_cache_spec(args),
     )
+    if args.profile:
+        _print_eval_profile(report)
     rows = []
     for f in args.freq:
         key = f"{f:g}"
@@ -362,6 +384,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycles", type=int, default=2000)
     p.add_argument("--idle", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=2004)
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-stage timing table (cache hits/"
+                        "misses and seconds) before the power numbers")
     _add_cache_options(p)
     p.set_defaults(func=_cmd_eval)
 

@@ -20,6 +20,7 @@ from repro.fsm.encoding import (
 from repro.fsm.simulate import (
     FsmSimulator,
     SimulationTrace,
+    derive_stream_seed,
     random_stimulus,
     idle_biased_stimulus,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "make_encoding",
     "FsmSimulator",
     "SimulationTrace",
+    "derive_stream_seed",
     "random_stimulus",
     "idle_biased_stimulus",
     "complete",

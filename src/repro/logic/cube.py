@@ -27,6 +27,12 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["Cube", "Cover"]
 
+try:  # int.bit_count needs 3.10; CI still exercises 3.9
+    _popcount = int.bit_count  # type: ignore[attr-defined]
+except AttributeError:  # pragma: no cover - version fallback
+    def _popcount(x: int) -> int:
+        return bin(x).count("1")
+
 
 class Cube:
     """An immutable ternary cube over ``n_vars`` Boolean variables."""
@@ -46,6 +52,20 @@ class Cube:
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+
+    @classmethod
+    def _raw(cls, n_vars: int, zero_mask: int, one_mask: int) -> "Cube":
+        """Unchecked constructor for internal algebra.
+
+        Callers guarantee the masks fit ``n_vars``; skipping the range
+        validation matters because intersection/cofactoring allocate
+        hundreds of thousands of cubes inside the minimizer.
+        """
+        cube = object.__new__(cls)
+        cube.n_vars = n_vars
+        cube.zero_mask = zero_mask
+        cube.one_mask = one_mask
+        return cube
 
     @classmethod
     def from_string(cls, pattern: str) -> "Cube":
@@ -120,7 +140,7 @@ class Cube:
 
     def num_literals(self) -> int:
         """Number of bound (non-don't-care) variables."""
-        return bin(self.care_mask()).count("1")
+        return _popcount(self.care_mask())
 
     def num_minterms(self) -> int:
         """Number of minterms the cube covers (2**free_vars)."""
@@ -164,13 +184,27 @@ class Cube:
             and other.one_mask & self.one_mask == other.one_mask
         )
 
+    def intersects(self, other: "Cube") -> bool:
+        """Mask-only intersection predicate (no cube allocated).
+
+        Equivalent to ``self.intersect(other) is not None`` but pure
+        bit-math — the minimizer's inner loops ask this question far
+        more often than they need the intersection itself.
+        """
+        self._check_compatible(other)
+        return (
+            (self.zero_mask & other.zero_mask)
+            | (self.one_mask & other.one_mask)
+        ) == (1 << self.n_vars) - 1
+
     def intersect(self, other: "Cube") -> Optional["Cube"]:
         """Cube covering minterms common to both, or None when disjoint."""
         self._check_compatible(other)
         z = self.zero_mask & other.zero_mask
         o = self.one_mask & other.one_mask
-        result = Cube(self.n_vars, z, o)
-        return None if result.is_empty() else result
+        if (z | o) != (1 << self.n_vars) - 1:
+            return None
+        return Cube._raw(self.n_vars, z, o)
 
     def distance(self, other: "Cube") -> int:
         """Number of variables where the cubes conflict (0 ↔ 1).
@@ -203,7 +237,7 @@ class Cube:
             return other
         if other.is_empty():
             return self
-        return Cube(
+        return Cube._raw(
             self.n_vars,
             self.zero_mask | other.zero_mask,
             self.one_mask | other.one_mask,
@@ -217,10 +251,10 @@ class Cube:
         cofactoring cube).
         """
         self._check_compatible(other)
-        if self.intersect(other) is None:
+        if not self.intersects(other):
             return None
         care = other.care_mask()
-        return Cube(
+        return Cube._raw(
             self.n_vars,
             self.zero_mask | care,
             self.one_mask | care,
@@ -229,7 +263,7 @@ class Cube:
     def expand_var(self, var: int) -> "Cube":
         """Raise variable ``var`` to a don't-care."""
         bit = 1 << var
-        return Cube(self.n_vars, self.zero_mask | bit, self.one_mask | bit)
+        return Cube._raw(self.n_vars, self.zero_mask | bit, self.one_mask | bit)
 
     def restrict_var(self, var: int, value: int) -> Optional["Cube"]:
         """Bind variable ``var`` to ``value`` (0 or 1), or None if conflicting."""
@@ -237,10 +271,10 @@ class Cube:
         if value:
             if not self.one_mask & bit:
                 return None
-            return Cube(self.n_vars, self.zero_mask & ~bit, self.one_mask)
+            return Cube._raw(self.n_vars, self.zero_mask & ~bit, self.one_mask)
         if not self.zero_mask & bit:
             return None
-        return Cube(self.n_vars, self.zero_mask, self.one_mask & ~bit)
+        return Cube._raw(self.n_vars, self.zero_mask, self.one_mask & ~bit)
 
     def _check_compatible(self, other: "Cube") -> None:
         if self.n_vars != other.n_vars:
@@ -296,6 +330,18 @@ class Cover:
         return cls(n_vars)
 
     @classmethod
+    def _wrap(cls, n_vars: int, cubes: List[Cube]) -> "Cover":
+        """Adopt ``cubes`` without per-cube arity/emptiness checks.
+
+        Internal fast path for the minimizer, which builds covers from
+        cubes it just produced (same arity, non-empty by construction).
+        """
+        cover = object.__new__(cls)
+        cover.n_vars = n_vars
+        cover.cubes = cubes
+        return cover
+
+    @classmethod
     def universe(cls, n_vars: int) -> "Cover":
         """The constant-1 function."""
         return cls(n_vars, [Cube.full(n_vars)])
@@ -319,6 +365,26 @@ class Cover:
         """Evaluate the function on assignment ``minterm`` (bit i = var i)."""
         return any(c.contains_minterm(minterm) for c in self.cubes)
 
+    def intersects_cube(self, cube: Cube) -> bool:
+        """True when any cube of the cover intersects ``cube``.
+
+        Allocation-free: the equivalent
+        ``any(cube.intersect(c) is not None for c in cover)`` builds a
+        generator frame plus a candidate cube per probe, which dominates
+        the EXPAND inner loop of the minimizer.
+        """
+        if cube.n_vars != self.n_vars:
+            raise ValueError(
+                f"cube arity mismatch: {self.n_vars} vs {cube.n_vars}"
+            )
+        full = (1 << self.n_vars) - 1
+        zero = cube.zero_mask
+        one = cube.one_mask
+        for c in self.cubes:
+            if ((zero & c.zero_mask) | (one & c.one_mask)) == full:
+                return True
+        return False
+
     def covers_cube(self, cube: Cube) -> bool:
         """True when every minterm of ``cube`` is covered.
 
@@ -334,12 +400,20 @@ class Cover:
 
     def cofactor(self, cube: Cube) -> "Cover":
         """Cover cofactored against ``cube`` (drop non-intersecting cubes)."""
-        result = Cover(self.n_vars)
-        for c in self.cubes:
-            cf = c.cofactor(cube)
-            if cf is not None:
-                result.append(cf)
-        return result
+        if cube.n_vars != self.n_vars:
+            raise ValueError(
+                f"cube arity mismatch: {self.n_vars} vs {cube.n_vars}"
+            )
+        full = (1 << self.n_vars) - 1
+        zero = cube.zero_mask
+        one = cube.one_mask
+        care = (zero ^ one) & full
+        cubes = [
+            Cube._raw(self.n_vars, c.zero_mask | care, c.one_mask | care)
+            for c in self.cubes
+            if ((zero & c.zero_mask) | (one & c.one_mask)) == full
+        ]
+        return Cover._wrap(self.n_vars, cubes)
 
     def minterm_count(self) -> int:
         """Exact number of covered minterms (inclusion via iteration).
@@ -368,9 +442,14 @@ class Cover:
         kept: List[Cube] = []
         # Sort large-to-small so containers are considered first.
         for cube in sorted(self.cubes, key=Cube.num_literals):
-            if not any(k.contains(cube) for k in kept):
+            zero = cube.zero_mask
+            one = cube.one_mask
+            for k in kept:
+                if zero & k.zero_mask == zero and one & k.one_mask == one:
+                    break
+            else:
                 kept.append(cube)
-        return Cover(self.n_vars, kept)
+        return Cover._wrap(self.n_vars, kept)
 
     def __len__(self) -> int:
         return len(self.cubes)

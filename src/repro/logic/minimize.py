@@ -15,7 +15,7 @@ a few hundred cubes) it runs in milliseconds.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.logic.cube import Cover, Cube
 
@@ -40,23 +40,27 @@ def _most_binate_var(cover: Cover) -> Optional[int]:
     n = cover.n_vars
     count0 = [0] * n
     count1 = [0] * n
-    for cube in cover:
+    for cube in cover.cubes:
         care = cube.care_mask()
         ones = cube.one_mask & care
-        for var in range(n):
-            bit = 1 << var
-            if care & bit:
-                if ones & bit:
-                    count1[var] += 1
-                else:
-                    count0[var] += 1
+        # Iterate only the bound variables (set bits), not all n.
+        while care:
+            low = care & -care
+            care ^= low
+            var = low.bit_length() - 1
+            if ones & low:
+                count1[var] += 1
+            else:
+                count0[var] += 1
     best_var = None
     best_key: Tuple[int, int] = (-1, -1)
     for var in range(n):
-        if count0[var] == 0 and count1[var] == 0:
+        c0 = count0[var]
+        c1 = count1[var]
+        if c0 == 0 and c1 == 0:
             continue
         # Binate vars first (min polarity count), then total occurrences.
-        key = (min(count0[var], count1[var]), count0[var] + count1[var])
+        key = (c0 if c0 < c1 else c1, c0 + c1)
         if key > best_key:
             best_key = key
             best_var = var
@@ -87,6 +91,25 @@ def _unate_reduction_tautology(cover: Cover) -> Optional[bool]:
     return None
 
 
+def _branch_cover(cover: Cover, var: int, value: int) -> Cover:
+    """Cofactor of ``cover`` against ``var = value``, ``var`` raised."""
+    bit = 1 << var
+    cubes: List[Cube] = []
+    if value:
+        for cube in cover.cubes:
+            if cube.one_mask & bit:
+                cubes.append(
+                    Cube._raw(cover.n_vars, cube.zero_mask | bit, cube.one_mask)
+                )
+    else:
+        for cube in cover.cubes:
+            if cube.zero_mask & bit:
+                cubes.append(
+                    Cube._raw(cover.n_vars, cube.zero_mask, cube.one_mask | bit)
+                )
+    return Cover._wrap(cover.n_vars, cubes)
+
+
 def is_tautology(cover: Cover) -> bool:
     """True when the cover evaluates to 1 for every input assignment."""
     quick = _unate_reduction_tautology(cover)
@@ -97,14 +120,26 @@ def is_tautology(cover: Cover) -> bool:
         # No cube binds any variable: tautology iff any cube is non-empty.
         return bool(cover.cubes)
     for value in (0, 1):
-        branch = Cover(cover.n_vars)
-        for cube in cover:
-            restricted = cube.restrict_var(var, value)
-            if restricted is not None:
-                branch.append(restricted.expand_var(var))
-        if not is_tautology(branch):
+        if not is_tautology(_branch_cover(cover, var, value)):
             return False
     return True
+
+
+# Complement results memoized across calls: espresso's REDUCE step
+# complements a near-identical "rest of the cover" for every cube, and
+# successive EXPAND/IRREDUNDANT/REDUCE sweeps revisit the same covers.
+# Keys commit to the exact cube *sequence* (not the set) so a memo hit
+# returns bit-identical results to recomputation — cube order steers the
+# heuristics downstream.  Cleared wholesale at the size cap.
+_COMPLEMENT_MEMO: Dict[Tuple, Cover] = {}
+_COMPLEMENT_MEMO_LIMIT = 4096
+
+
+def _cover_memo_key(cover: Cover) -> Tuple:
+    return (
+        cover.n_vars,
+        tuple((c.zero_mask, c.one_mask) for c in cover.cubes),
+    )
 
 
 def complement(cover: Cover) -> Cover:
@@ -113,29 +148,48 @@ def complement(cover: Cover) -> Cover:
     Uses the unate recursive paradigm: split on the most binate variable,
     complement each cofactor, and merge with the splitting literal.
     """
+    key = _cover_memo_key(cover)
+    cached = _COMPLEMENT_MEMO.get(key)
+    if cached is not None:
+        # Hand out a fresh wrapper so caller-side mutation (the cover is
+        # public API) cannot poison the memo; cubes are immutable.
+        return Cover._wrap(cover.n_vars, list(cached.cubes))
+    result = _complement_uncached(cover)
+    if len(_COMPLEMENT_MEMO) >= _COMPLEMENT_MEMO_LIMIT:
+        _COMPLEMENT_MEMO.clear()
+    _COMPLEMENT_MEMO[key] = Cover._wrap(cover.n_vars, list(result.cubes))
+    return result
+
+
+def _complement_uncached(cover: Cover) -> Cover:
     n = cover.n_vars
     if not cover.cubes:
         return Cover.universe(n)
-    if any(c.is_full() for c in cover):
+    if any(c.is_full() for c in cover.cubes):
         return Cover.empty(n)
-    if len(cover) == 1:
+    if len(cover.cubes) == 1:
         return _complement_cube(cover.cubes[0])
     var = _most_binate_var(cover)
     if var is None:
         return Cover.empty(n)
-    result = Cover(n)
+    result: List[Cube] = []
+    bit = 1 << var
     for value in (0, 1):
-        branch = Cover(n)
-        for cube in cover:
-            restricted = cube.restrict_var(var, value)
-            if restricted is not None:
-                branch.append(restricted.expand_var(var))
-        comp = complement(branch)
-        for cube in comp:
-            bound = cube.restrict_var(var, value)
-            if bound is not None:
-                result.append(bound)
-    return result.single_cube_containment()
+        comp = complement(_branch_cover(cover, var, value))
+        # Re-bind the splitting literal on each complement cube.
+        if value:
+            for cube in comp.cubes:
+                if cube.one_mask & bit:
+                    result.append(
+                        Cube._raw(n, cube.zero_mask & ~bit, cube.one_mask)
+                    )
+        else:
+            for cube in comp.cubes:
+                if cube.zero_mask & bit:
+                    result.append(
+                        Cube._raw(n, cube.zero_mask, cube.one_mask & ~bit)
+                    )
+    return Cover._wrap(n, result).single_cube_containment()
 
 
 def _complement_cube(cube: Cube) -> Cover:
@@ -164,24 +218,52 @@ def _expand(on: Cover, off: Cover) -> Cover:
     swallow other ON-cubes let us drop the swallowed ones.
     """
     n = on.n_vars
-    # How often each (var, value) literal blocks expansion.
+    full = (1 << n) - 1
+    off_cubes = off.cubes
+    # Per-variable count of OFF cubes binding it, tabulated once; the old
+    # per-literal _blocking_count rescanned the OFF cover each time.
+    blocking = [0] * n
+    for c in off_cubes:
+        care = c.care_mask()
+        while care:
+            low = care & -care
+            care ^= low
+            blocking[low.bit_length() - 1] += 1
     cubes = sorted(on.cubes, key=Cube.num_literals, reverse=True)
     expanded: List[Cube] = []
     for cube in cubes:
-        if any(e.contains(cube) for e in expanded):
+        cz = cube.zero_mask
+        co = cube.one_mask
+        swallowed = False
+        for e in expanded:
+            if cz & e.zero_mask == cz and co & e.one_mask == co:
+                swallowed = True
+                break
+        if swallowed:
             continue
-        current = cube
         # Try raising literals one at a time, cheapest first.
+        care = (cz ^ co) & full
         order = sorted(
-            (v for v in range(n) if current.literal(v) in "01"),
-            key=lambda v: _blocking_count(off, v),
+            (v for v in range(n) if care >> v & 1),
+            key=blocking.__getitem__,
         )
         for var in order:
-            trial = current.expand_var(var)
-            if not _intersects_cover(trial, off):
-                current = trial
-        expanded.append(current)
-    return Cover(n, expanded).single_cube_containment()
+            bit = 1 << var
+            tz = cz | bit
+            to = co | bit
+            if blocking[var] == 0:
+                # No OFF cube binds var: raising it cannot create an
+                # intersection (the cube is disjoint from OFF on some
+                # other variable, which raising var leaves bound).
+                cz, co = tz, to
+                continue
+            for c in off_cubes:
+                if ((tz & c.zero_mask) | (to & c.one_mask)) == full:
+                    break
+            else:
+                cz, co = tz, to
+        expanded.append(Cube._raw(n, cz, co))
+    return Cover._wrap(n, expanded).single_cube_containment()
 
 
 def _blocking_count(off: Cover, var: int) -> int:
@@ -191,18 +273,21 @@ def _blocking_count(off: Cover, var: int) -> int:
 
 
 def _intersects_cover(cube: Cube, cover: Cover) -> bool:
-    return any(cube.intersect(c) is not None for c in cover)
+    return cover.intersects_cube(cube)
 
 
 def _irredundant(on: Cover, dc: Cover) -> Cover:
     """IRREDUNDANT: drop cubes covered by the rest of the cover plus DC."""
     cubes = list(on.cubes)
+    dc_cubes = dc.cubes
     # Visit smallest cubes first: they are the most likely to be redundant.
     for cube in sorted(cubes, key=Cube.num_literals, reverse=True):
-        rest = Cover(on.n_vars, [c for c in cubes if c is not cube] + dc.cubes)
+        rest = Cover._wrap(
+            on.n_vars, [c for c in cubes if c is not cube] + dc_cubes
+        )
         if rest.covers_cube(cube):
             cubes.remove(cube)
-    return Cover(on.n_vars, cubes)
+    return Cover._wrap(on.n_vars, cubes)
 
 
 def _reduce(on: Cover, dc: Cover) -> Cover:
@@ -214,27 +299,29 @@ def _reduce(on: Cover, dc: Cover) -> Cover:
     """
     n = on.n_vars
     cubes = list(on.cubes)
+    dc_cubes = list(dc.cubes)
     reduced: List[Cube] = []
     for i, cube in enumerate(cubes):
-        rest = Cover(n, [c for j, c in enumerate(cubes) if j != i] + list(dc.cubes))
+        rest = Cover._wrap(
+            n, [c for j, c in enumerate(cubes) if j != i] + dc_cubes
+        )
         rest_cf = rest.cofactor(cube)
         comp = complement(rest_cf)
         # supercube of (cube AND complement(rest cofactor cube))
-        essential = Cover(n)
-        for cc in comp:
-            inter = cc.intersect(cube)
-            if inter is not None:
-                essential.append(inter)
-        if essential.is_empty_function():
+        essential = [
+            inter for inter in (cc.intersect(cube) for cc in comp.cubes)
+            if inter is not None
+        ]
+        if not essential:
             # Fully covered by the rest; keep as-is, IRREDUNDANT removes it.
             reduced.append(cube)
             continue
-        super_c = essential.cubes[0]
-        for cc in essential.cubes[1:]:
+        super_c = essential[0]
+        for cc in essential[1:]:
             super_c = super_c.supercube(cc)
         reduced.append(super_c)
         cubes[i] = super_c
-    return Cover(n, reduced)
+    return Cover._wrap(n, reduced)
 
 
 def _cover_cost(cover: Cover) -> Tuple[int, int]:

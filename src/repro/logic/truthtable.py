@@ -9,11 +9,17 @@ truth table) and for the per-LUT activity simulation in the power model.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List
+from typing import Callable, Iterable, List, Sequence
 
 __all__ = ["TruthTable"]
 
 _MAX_INPUTS = 20
+
+try:  # int.bit_count needs 3.10; CI still exercises 3.9
+    _popcount = int.bit_count  # type: ignore[attr-defined]
+except AttributeError:  # pragma: no cover - version fallback
+    def _popcount(x: int) -> int:
+        return bin(x).count("1")
 
 
 class TruthTable:
@@ -74,6 +80,44 @@ class TruthTable:
     def evaluate(self, assignment: int) -> int:
         """Function value on ``assignment`` (bit i = input i)."""
         return (self.bits >> assignment) & 1
+
+    def evaluate_word(self, words: Sequence[int], mask: int) -> int:
+        """Evaluate the function over a whole packed trace at once.
+
+        ``words[i]`` packs input ``i``'s value stream: bit ``k`` is its
+        value in cycle ``k``.  ``mask`` has one bit per cycle (usually
+        ``(1 << num_cycles) - 1``).  Returns the packed output stream —
+        the word-parallel trick of evaluating one LUT for every cycle of
+        a stimulus with at most ``2**n_inputs`` big-int AND/OR/NOT ops
+        instead of one Python call per cycle.
+
+        The expansion runs over whichever polarity of the truth table
+        has fewer minterms, so a wide OR (15 of 16 minterms set) costs
+        one minterm, not fifteen.
+        """
+        bits = self.bits
+        if bits == 0:
+            return 0
+        size = 1 << self.n_inputs
+        full = (1 << size) - 1
+        if bits == full:
+            return mask
+        invert = _popcount(bits) > size // 2
+        if invert:
+            bits ^= full
+        out = 0
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            minterm = low.bit_length() - 1
+            term = mask
+            for i, word in enumerate(words):
+                term &= word if (minterm >> i) & 1 else ~word
+                if not term:
+                    break
+            out |= term
+        out &= mask
+        return out ^ mask if invert else out
 
     def output_column(self) -> List[int]:
         return [(self.bits >> m) & 1 for m in range(1 << self.n_inputs)]

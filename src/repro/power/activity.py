@@ -24,6 +24,7 @@ from typing import Dict, List, Tuple
 from repro.romfsm.impl import RomFsmImplementation, RomTrace
 from repro.synth.ff_synth import FfImplementation
 from repro.synth.netsim import NetlistTrace
+from repro.synth.wordsim import pack_column, word_toggles
 
 __all__ = ["NetActivity", "FfActivity", "RomActivity",
            "extract_ff_activity", "extract_rom_activity",
@@ -159,8 +160,10 @@ def ff_activity_from_vcd(impl: FfImplementation, vcd_source) -> FfActivity:
     if not columns:
         raise ValueError("VCD contains no signals")
     num_cycles = max(len(col) for col in columns.values())
+    # Word-parallel toggle counting: pack each column once, then one
+    # XOR/shift/popcount per signal instead of a per-sample Python loop.
     toggles = {
-        name: sum(1 for a, b in zip(col, col[1:]) if a != b)
+        name: word_toggles(pack_column(col), len(col))
         for name, col in columns.items()
     }
 

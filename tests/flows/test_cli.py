@@ -121,6 +121,22 @@ class TestCommands:
         assert "saving @ 100 MHz" in out
         assert "fmax" in out
 
+    def test_eval_profile_prints_stage_table(self, kiss_file, capsys):
+        assert main([
+            "eval", kiss_file, "--cycles", "150", "--freq", "100",
+            "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Stage table precedes the power table, one row per stage.
+        assert out.index("seconds") < out.index("FF (mW)")
+        for stage in ("parse", "ff-synth", "rom-map", "simulate",
+                      "activity", "power", "total"):
+            assert stage in out
+
+    def test_eval_without_profile_omits_stage_table(self, kiss_file, capsys):
+        assert main(["eval", kiss_file, "--cycles", "150"]) == 0
+        assert "ff-synth" not in capsys.readouterr().out
+
     def test_blif_to_stdout(self, kiss_file, capsys):
         assert main(["blif", kiss_file]) == 0
         out = capsys.readouterr().out

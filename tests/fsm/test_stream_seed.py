@@ -1,0 +1,51 @@
+"""Stimulus reproducibility: seed derivation and the prefix contract."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsm.simulate import derive_stream_seed, random_stimulus
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+class TestDeriveStreamSeed:
+    def test_stable_across_runs_and_platforms(self):
+        # SHA-256 based, so these exact values hold everywhere, forever.
+        assert derive_stream_seed(2004, "simulate") == derive_stream_seed(
+            2004, "simulate"
+        )
+        assert derive_stream_seed(0, "a") != derive_stream_seed(0, "b")
+        assert derive_stream_seed(0, "a") != derive_stream_seed(1, "a")
+
+    def test_pinned_value(self):
+        # Regression pin: changing the derivation would silently change
+        # every derived stimulus stream downstream.
+        assert derive_stream_seed(2004, "simulate") == 0x92A1A943F216B485
+
+    @given(seed=st.integers(0, 2 ** 32), stream=st.text(max_size=20))
+    @SETTINGS
+    def test_in_range(self, seed, stream):
+        derived = derive_stream_seed(seed, stream)
+        assert 0 <= derived < 1 << 64
+
+    def test_no_concatenation_collisions(self):
+        # The "seed:stream" framing keeps (1, "23") and (12, "3") apart.
+        assert derive_stream_seed(1, "23") != derive_stream_seed(12, "3")
+
+
+class TestRandomStimulusContract:
+    @given(num_inputs=st.integers(0, 6), seed=st.integers(0, 999),
+           short=st.integers(0, 50), extra=st.integers(0, 50))
+    @SETTINGS
+    def test_prefix_property(self, num_inputs, seed, short, extra):
+        long = random_stimulus(num_inputs, short + extra, seed)
+        assert random_stimulus(num_inputs, short, seed) == long[:short]
+
+    @given(num_inputs=st.integers(0, 6), seed=st.integers(0, 999))
+    @SETTINGS
+    def test_derived_streams_are_decorrelated(self, num_inputs, seed):
+        a = random_stimulus(num_inputs, 40, derive_stream_seed(seed, "a"))
+        b = random_stimulus(num_inputs, 40, derive_stream_seed(seed, "b"))
+        assert len(a) == len(b) == 40
+        if num_inputs > 0:
+            assert a != b  # collision odds are 2^-40 per example
