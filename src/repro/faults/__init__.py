@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the cache/driver/service stack.
+
+See :mod:`repro.faults.plan` for the plan/rule model and
+:mod:`repro.faults.runtime` for the failure-point catalogue and
+activation (``REPRO_FAULTS``, ``--faults``, or the :func:`injected`
+context manager).
+"""
+
+from repro.faults.plan import (
+    ACTION_KINDS,
+    FaultAction,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+)
+from repro.faults.runtime import (
+    FAULTS_ENV,
+    active_plan,
+    corrupt_bytes,
+    hit,
+    injected,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "ACTION_KINDS",
+    "FAULTS_ENV",
+    "FaultAction",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "corrupt_bytes",
+    "hit",
+    "injected",
+    "install",
+    "uninstall",
+]

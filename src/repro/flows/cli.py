@@ -88,6 +88,34 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", metavar="PLAN",
+        help="activate a fault-injection plan: inline JSON or a path to "
+             "a plan file (default: $REPRO_FAULTS if set); see "
+             "docs/architecture.md §11",
+    )
+
+
+def _install_faults(args: argparse.Namespace) -> None:
+    """Activate ``--faults`` for this process and its pool workers."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return
+    import os
+
+    from repro import faults
+    from repro.faults import FaultPlan
+
+    try:
+        plan = FaultPlan.from_spec(spec)
+    except ValueError as exc:
+        raise CliError(f"bad --faults plan: {exc}")
+    faults.install(plan)
+    os.environ[faults.FAULTS_ENV] = plan.to_json()
+    logger.info(kv("faults_active", rules=len(plan.rules), seed=plan.seed))
+
+
 def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -106,6 +134,7 @@ def _cache_spec(args: argparse.Namespace):
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
+    _install_faults(args)
     cache = _cache_spec(args)
     results = run_all(
         num_cycles=args.cycles, seed=args.seed, idle_fraction=args.idle,
@@ -180,6 +209,7 @@ def _print_eval_profile(report) -> None:
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
+    _install_faults(args)
     fsm = _load_fsm_arg(args.file)
     result, report = evaluate_benchmark_detailed(
         fsm,
@@ -255,10 +285,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"cache root : {info['root']}")
     print(f"entries    : {info['entries']}")
     print(f"size       : {info['size_bytes'] / 1024:.1f} KiB")
+    print(f"degraded   : {'yes' if info['degraded'] else 'no'}")
+    session = info["session"]
+    if session["io_errors"]:
+        print(f"io errors  : {session['io_errors']}")
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    _install_faults(args)
     import asyncio
 
     from repro.service.server import ServerConfig, run_server
@@ -363,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the run manifest (stage timings, cache "
                         "hits/misses) as JSON to this path")
     _add_pipeline_options(p)
+    _add_fault_options(p)
     p.set_defaults(func=_cmd_tables)
 
     p = sub.add_parser("map", help="map a .kiss2 FSM into block RAM")
@@ -388,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a per-stage timing table (cache hits/"
                         "misses and seconds) before the power numbers")
     _add_cache_options(p)
+    _add_fault_options(p)
     p.set_defaults(func=_cmd_eval)
 
     p = sub.add_parser(
@@ -431,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain-grace", type=float, default=30.0, metavar="S",
                    help="seconds to let in-flight work finish on SIGTERM")
     _add_cache_options(p)
+    _add_fault_options(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

@@ -232,13 +232,16 @@ def evaluate_many(
     benchmarks: Sequence[Union[str, FSM]],
     jobs: int = 1,
     cache: Union[None, bool, str, ArtifactCache] = None,
+    max_retries: int = 2,
     **kwargs,
 ) -> Tuple[Dict[str, EvaluationResult], RunManifest]:
     """Evaluate many benchmarks, sharded across ``jobs`` processes.
 
     Returns the results keyed by benchmark name (input order preserved:
     Python dicts iterate in insertion order) plus the run manifest with
-    stage timings and cache hit/miss counts.
+    stage timings and cache hit/miss counts.  Shards lost to a crashed
+    pool worker are retried up to ``max_retries`` times (see
+    :func:`repro.pipeline.driver.run_sharded`).
     """
     resolved = resolve_cache(cache)
     # Workers re-resolve this value; False (not None) keeps a
@@ -250,7 +253,7 @@ def evaluate_many(
         items.append((label, entry, kwargs, cache_path))
 
     start = time.perf_counter()
-    shards = run_sharded(_evaluate_shard, items, jobs=jobs)
+    shards = run_sharded(_evaluate_shard, items, jobs=jobs, max_retries=max_retries)
     wall = time.perf_counter() - start
 
     results: Dict[str, EvaluationResult] = {}

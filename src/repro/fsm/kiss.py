@@ -50,6 +50,27 @@ def parse_kiss(text: str, name: str = "fsm") -> FSM:
             seen_states.add(s)
             state_order.append(s)
 
+    def directive_int(lineno: int, directive: str, fields: List[str]) -> int:
+        if len(fields) != 2:
+            raise FsmError(
+                f"line {lineno}: {directive} expects exactly one numeric "
+                f"argument, got {len(fields) - 1}"
+            )
+        try:
+            value = int(fields[1])
+        except ValueError:
+            raise FsmError(
+                f"line {lineno}: {directive} argument {fields[1]!r} is not "
+                f"an integer"
+            ) from None
+        if value < 0:
+            raise FsmError(f"line {lineno}: {directive} must be non-negative")
+        return value
+
+    def reject_duplicate(lineno: int, directive: str, current) -> None:
+        if current is not None:
+            raise FsmError(f"line {lineno}: duplicate {directive} directive")
+
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -58,14 +79,23 @@ def parse_kiss(text: str, name: str = "fsm") -> FSM:
             fields = line.split()
             directive = fields[0]
             if directive == ".i":
-                num_inputs = int(fields[1])
+                reject_duplicate(lineno, directive, num_inputs)
+                num_inputs = directive_int(lineno, directive, fields)
             elif directive == ".o":
-                num_outputs = int(fields[1])
+                reject_duplicate(lineno, directive, num_outputs)
+                num_outputs = directive_int(lineno, directive, fields)
             elif directive == ".s":
-                declared_states = int(fields[1])
+                reject_duplicate(lineno, directive, declared_states)
+                declared_states = directive_int(lineno, directive, fields)
             elif directive == ".p":
-                declared_products = int(fields[1])
+                reject_duplicate(lineno, directive, declared_products)
+                declared_products = directive_int(lineno, directive, fields)
             elif directive == ".r":
+                reject_duplicate(lineno, directive, reset)
+                if len(fields) != 2:
+                    raise FsmError(
+                        f"line {lineno}: .r expects exactly one state name"
+                    )
                 reset = fields[1]
             elif directive in (".e", ".end"):
                 break
@@ -121,7 +151,14 @@ def parse_kiss(text: str, name: str = "fsm") -> FSM:
             cube = Cube.from_string(in_pat)
         except ValueError as exc:
             raise FsmError(f"line {lineno}: {exc}") from exc
-        fsm.add_transition(Transition(src=src, dst=dst, inputs=cube, outputs=out_pat))
+        try:
+            fsm.add_transition(
+                Transition(src=src, dst=dst, inputs=cube, outputs=out_pat)
+            )
+        except FsmError as exc:
+            # Bad output characters, conflicting transitions, … — keep
+            # the machine-level diagnosis but pin it to the source line.
+            raise FsmError(f"line {lineno}: {exc}") from exc
     return fsm
 
 

@@ -11,8 +11,22 @@ cache directory can only ever observe complete entries; since keys are
 content-addressed, two workers racing on the same key write identical
 bytes and either winner is correct.
 
-Corrupt or unreadable entries are treated as misses and removed, never
-propagated.
+Crash-safety contract: the cache is an accelerator, never a
+correctness dependency.  Every entry is wrapped in a checksummed
+envelope (magic + CRC32 of the pickle payload) so silent corruption —
+a torn write, a flipped bit — is detected on read instead of being
+deserialized into a plausible-but-wrong value.  Corrupt or unreadable
+entries are treated as misses (and removed only when the on-disk file
+is provably the one that failed to decode — see the inode guard in
+:meth:`get`), I/O
+errors on reads and writes are absorbed and counted, and after
+``degrade_threshold`` consecutive I/O errors the cache *degrades* to a
+process-local in-memory store so a sick disk cannot take the pipeline
+down with it.  Degradation is logged, visible in :meth:`describe`
+(``romfsm cache stats``) and in the service's ``/metrics``.
+
+Both I/O paths carry :mod:`repro.faults` failure points (``cache.get``,
+``cache.put``) so the chaos suite can prove all of the above.
 """
 
 from __future__ import annotations
@@ -20,13 +34,18 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+from repro import faults
+from repro.logutil import get_logger, kv
 
 __all__ = [
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
+    "DEGRADE_THRESHOLD",
     "ArtifactCache",
     "CacheStats",
     "resolve_cache",
@@ -35,17 +54,28 @@ __all__ = [
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIR = Path.home() / ".cache" / "romfsm"
 
+# Consecutive I/O errors before the cache falls back to memory.
+DEGRADE_THRESHOLD = 3
+
 _PICKLE_PROTOCOL = 4
+
+# Entry envelope: magic + 4-byte big-endian CRC32, then the pickle.
+_ENTRY_MAGIC = b"RFC1"
+_HEADER_LEN = len(_ENTRY_MAGIC) + 4
+
+logger = get_logger("pipeline.cache")
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters for one :class:`ArtifactCache` instance."""
+    """Hit/miss/store/error counters for one :class:`ArtifactCache`."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
-    errors: int = 0
+    errors: int = 0        # corrupt entries dropped
+    io_errors: int = 0     # OSError on a read or write
+    probes: int = 0        # __contains__ lookups
 
     @property
     def lookups(self) -> int:
@@ -61,89 +91,245 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "errors": self.errors,
+            "io_errors": self.io_errors,
+            "probes": self.probes,
         }
 
 
 class ArtifactCache:
     """Content-addressed pickle store for pipeline stage artifacts."""
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(
+        self,
+        root: Union[str, Path],
+        degrade_threshold: int = DEGRADE_THRESHOLD,
+    ):
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
         self.stats = CacheStats()
+        self.degraded = False
+        self._degrade_threshold = max(1, degrade_threshold)
+        self._io_error_streak = 0
+        self._memory: Dict[str, Tuple[str, Any]] = {}
 
     def _path(self, key: str) -> Path:
         return self.objects_dir / key[:2] / f"{key}.pkl"
 
+    # -- degradation ----------------------------------------------------
+
+    def _io_failure(self, op: str, exc: OSError) -> None:
+        self.stats.io_errors += 1
+        self._io_error_streak += 1
+        logger.warning(kv(
+            "cache_io_error", op=op, error=type(exc).__name__,
+            streak=self._io_error_streak, detail=str(exc),
+        ))
+        if not self.degraded and self._io_error_streak >= self._degrade_threshold:
+            self.degraded = True
+            logger.warning(kv(
+                "cache_degraded", root=str(self.root),
+                after_errors=self._io_error_streak,
+            ))
+
+    def _io_success(self) -> None:
+        self._io_error_streak = 0
+
+    @staticmethod
+    def _encode(fingerprint: str, value: Any) -> bytes:
+        payload = pickle.dumps((fingerprint, value), protocol=_PICKLE_PROTOCOL)
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        return _ENTRY_MAGIC + crc.to_bytes(4, "big") + payload
+
+    @staticmethod
+    def _decode(data: bytes) -> Tuple[str, Any]:
+        """Checksum-verified deserialization (a seam for race tests).
+
+        Raises on a missing/garbled envelope or a CRC mismatch so any
+        corruption — including a single flipped bit that pickle would
+        cheerfully decode into a wrong value — lands in the
+        corrupt-entry path, never in a hit.
+        """
+        if len(data) < _HEADER_LEN or data[:len(_ENTRY_MAGIC)] != _ENTRY_MAGIC:
+            raise ValueError("missing cache-entry envelope")
+        expected = int.from_bytes(data[len(_ENTRY_MAGIC):_HEADER_LEN], "big")
+        payload = data[_HEADER_LEN:]
+        if zlib.crc32(payload) & 0xFFFFFFFF != expected:
+            raise ValueError("cache-entry checksum mismatch")
+        return pickle.loads(payload)
+
+    # -- lookups --------------------------------------------------------
+
     def get(self, key: str) -> Optional[Tuple[str, Any]]:
         """Return ``(fingerprint, value)`` for ``key``, or ``None``."""
+        if self.degraded:
+            entry = self._memory.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return entry
         path = self._path(key)
+        read_stat = None
         try:
+            action = faults.hit("cache.get", key=key)
             with path.open("rb") as fh:
-                fingerprint, value = pickle.load(fh)
+                read_stat = os.fstat(fh.fileno())
+                data = fh.read()
+            if action is not None:
+                data = faults.corrupt_bytes(action, data)
+            fingerprint, value = self._decode(data)
         except FileNotFoundError:
+            # A miss, not an I/O verdict: it neither counts toward nor
+            # resets the error streak.  (The pipeline's get-then-put
+            # rhythm means misses interleave with every write; letting
+            # them reset the streak would mask a disk that fails every
+            # single put.)
+            self.stats.misses += 1
+            return None
+        except OSError as exc:
+            self._io_failure("get", exc)
             self.stats.misses += 1
             return None
         except Exception:
-            # Corrupt/truncated entry: drop it and treat as a miss.
+            # Corrupt/truncated entry: drop it and treat as a miss —
+            # but only if the directory entry is still the very file we
+            # read.  A concurrent writer may have replaced it with a
+            # fresh (valid) object between our read and the unlink;
+            # deleting that one would throw good work away.
             self.stats.errors += 1
             self.stats.misses += 1
             try:
-                path.unlink()
+                current = os.stat(path)
+                if read_stat is not None and (
+                    current.st_ino, current.st_dev
+                ) == (read_stat.st_ino, read_stat.st_dev):
+                    path.unlink()
             except OSError:
                 pass
             return None
         self.stats.hits += 1
+        self._io_success()
         return fingerprint, value
 
     def put(self, key: str, fingerprint: str, value: Any) -> None:
+        """Store an entry.  Storage failure degrades; it never raises."""
+        if self.degraded:
+            self._memory[key] = (fingerprint, value)
+            self.stats.stores += 1
+            return
+        payload = self._encode(fingerprint, value)
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = pickle.dumps((fingerprint, value), protocol=_PICKLE_PROTOCOL)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".pkl"
-        )
+        tmp_name = None
         try:
+            faults.hit("cache.put", key=key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".pkl"
+            )
             with os.fdopen(fd, "wb") as fh:
                 fh.write(payload)
             os.replace(tmp_name, path)
+        except OSError as exc:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            self._io_failure("put", exc)
+            if self.degraded:
+                self._memory[key] = (fingerprint, value)
+                self.stats.stores += 1
+            return
         except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
             raise
         self.stats.stores += 1
+        self._io_success()
 
     def __contains__(self, key: str) -> bool:
-        return self._path(key).exists()
+        self.stats.probes += 1
+        if self.degraded:
+            return key in self._memory
+        try:
+            return self._path(key).exists()
+        except OSError:
+            return False
 
     # -- maintenance ---------------------------------------------------
 
-    def _entries(self):
-        if not self.objects_dir.is_dir():
+    def _shards(self) -> Iterator[Path]:
+        try:
+            shards = list(self.objects_dir.iterdir())
+        except OSError:
             return
-        for path in self.objects_dir.glob("*/*.pkl"):
-            if not path.name.startswith(".tmp-"):
-                yield path
+        for shard in shards:
+            if shard.is_dir():
+                yield shard
+
+    def _entries(self) -> Iterator[Path]:
+        for shard in self._shards():
+            try:
+                children = list(shard.iterdir())
+            except OSError:
+                continue
+            for path in children:
+                if path.suffix == ".pkl" and not path.name.startswith(".tmp-"):
+                    yield path
 
     @property
     def entry_count(self) -> int:
-        return sum(1 for _ in self._entries())
+        count = sum(1 for _ in self._entries())
+        if self.degraded:
+            count += len(self._memory)
+        return count
 
     @property
     def size_bytes(self) -> int:
-        return sum(path.stat().st_size for path in self._entries())
+        total = 0
+        for path in self._entries():
+            # A concurrent worker may unlink an entry between listing
+            # and stat; a vanished file simply no longer contributes.
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def clear(self) -> int:
-        """Delete every cached object; returns the number removed."""
+        """Delete every cached object; returns the number removed.
+
+        Also sweeps ``.tmp-*`` leftovers from interrupted :meth:`put`
+        calls, removes emptied ``objects/<xx>/`` shard directories, and
+        resets any degraded state (clearing is a fresh start).
+        """
         removed = 0
-        for path in list(self._entries()):
+        for shard in list(self._shards()):
             try:
-                path.unlink()
-                removed += 1
+                children = list(shard.iterdir())
+            except OSError:
+                continue
+            for path in children:
+                is_entry = (
+                    path.suffix == ".pkl" and not path.name.startswith(".tmp-")
+                )
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                if is_entry:
+                    removed += 1
+            try:
+                shard.rmdir()
             except OSError:
                 pass
+        removed += len(self._memory)
+        self._memory.clear()
+        self.degraded = False
+        self._io_error_streak = 0
         return removed
 
     def describe(self) -> Dict[str, Any]:
@@ -151,6 +337,7 @@ class ArtifactCache:
             "root": str(self.root),
             "entries": self.entry_count,
             "size_bytes": self.size_bytes,
+            "degraded": self.degraded,
             "session": self.stats.as_dict(),
         }
 

@@ -11,50 +11,141 @@ input order.
 :class:`~repro.pipeline.pipeline.StageRecord` streams of every shard
 into the observability summary the ROADMAP asks for: stage timings,
 cache hit/miss counts, worker count, wall-clock.
+
+Worker death (OOM kill, segfault in a native dependency, or an
+injected ``driver.worker`` fault) breaks the whole pool, so the pool
+path submits per-item futures and retries the shards a broken pool
+took down: up to ``max_retries`` extra rounds with jittered
+exponential backoff, then a typed :class:`WorkerCrashError`.  A normal
+exception *raised by the task itself* is not retried — evaluations are
+deterministic, so it would fail identically again.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Sequence, Union
 
+from repro import faults
 from repro.logutil import get_logger, kv
 from repro.pipeline.pipeline import PipelineReport, StageRecord
 
-__all__ = ["RunManifest", "run_sharded"]
+__all__ = ["RunManifest", "WorkerCrashError", "run_sharded"]
 
 logger = get_logger("pipeline.driver")
+
+DEFAULT_MAX_RETRIES = 2
+DEFAULT_BACKOFF_S = 0.25
+
+
+class WorkerCrashError(RuntimeError):
+    """Pool workers kept dying after every retry round."""
+
+    def __init__(self, failed: int, attempts: int):
+        super().__init__(
+            f"{failed} shard(s) lost to worker crashes after "
+            f"{attempts} attempt(s)"
+        )
+        self.failed = failed
+        self.attempts = attempts
+
+
+def _worker_call(func: Callable[[Any], Any], item: Any, attempt: int) -> Any:
+    """Per-shard pool entry; carries the ``driver.worker`` fault point.
+
+    ``attempt`` is in the fault context so a chaos rule can kill every
+    first-attempt worker (``match: {"attempt": 0}``) while letting the
+    retry round through — the fault counters themselves reset with each
+    fresh worker process and cannot make that distinction.
+    """
+    faults.hit("driver.worker", attempt=attempt)
+    return func(item)
 
 
 def run_sharded(
     func: Callable[[Any], Any],
     items: Sequence[Any],
     jobs: int = 1,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    backoff_s: float = DEFAULT_BACKOFF_S,
+    retry_seed: int = 0,
 ) -> List[Any]:
     """Map ``func`` over ``items`` with ``jobs`` worker processes.
 
     ``func`` must be a module-level callable and every item/result must
-    be picklable.  Results come back in input order.
+    be picklable.  Results come back in input order.  Shards lost to a
+    crashed worker are retried (``max_retries`` rounds, jittered
+    exponential backoff seeded by ``retry_seed``); when retries run out
+    a :class:`WorkerCrashError` is raised.
     """
     start = time.perf_counter()
     if jobs is None or jobs <= 1 or len(items) <= 1:
         logger.debug(kv("shard_run", mode="inline", items=len(items)))
         results = [func(item) for item in items]
     else:
-        workers = min(jobs, len(items))
-        logger.debug(kv("shard_run", mode="pool", items=len(items), jobs=workers))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(func, items, chunksize=1))
+        results = _run_pool(
+            func, items, jobs=jobs, max_retries=max_retries,
+            backoff_s=backoff_s, retry_seed=retry_seed,
+        )
     logger.info(kv(
         "shard_done", items=len(items), jobs=max(1, jobs or 1),
         seconds=time.perf_counter() - start,
     ))
     return results
+
+
+def _run_pool(
+    func: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: int,
+    max_retries: int,
+    backoff_s: float,
+    retry_seed: int,
+) -> List[Any]:
+    results: List[Any] = [None] * len(items)
+    pending = list(range(len(items)))
+    rng = random.Random(retry_seed)
+    attempt = 0
+    while True:
+        workers = min(jobs, len(pending))
+        logger.debug(kv(
+            "shard_run", mode="pool", items=len(pending), jobs=workers,
+            attempt=attempt,
+        ))
+        crashed: List[int] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                index: pool.submit(_worker_call, func, items[index], attempt)
+                for index in pending
+            }
+            for index in pending:
+                try:
+                    results[index] = futures[index].result()
+                except BrokenProcessPool:
+                    crashed.append(index)
+        if not crashed:
+            return results
+        if attempt >= max_retries:
+            logger.error(kv(
+                "shard_crash_exhausted", failed=len(crashed),
+                attempts=attempt + 1,
+            ))
+            raise WorkerCrashError(failed=len(crashed), attempts=attempt + 1)
+        delay = backoff_s * (2 ** attempt) * (0.5 + rng.random())
+        logger.warning(kv(
+            "shard_retry", crashed=len(crashed), attempt=attempt + 1,
+            max_retries=max_retries, delay_s=round(delay, 3),
+        ))
+        time.sleep(delay)
+        pending = crashed
+        attempt += 1
 
 
 @dataclass

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro import faults
 from repro.pipeline.artifact import Artifact, fingerprint
 from repro.pipeline.cache import ArtifactCache
 from repro.pipeline.stage import Stage, StageContext
@@ -131,6 +132,10 @@ class Pipeline:
         for stage in self.stages:
             if should_cancel is not None and should_cancel():
                 raise PipelineCancelled(stage.name, PipelineReport(records))
+            # Chaos hook: a "raise" rule here aborts the run with a
+            # typed FaultInjected at a stage boundary, a "stall" rule
+            # models a slow stage.
+            faults.hit("pipeline.stage", stage=stage.name)
             dep_fps = {dep: artifacts[dep].fingerprint for dep in stage.deps}
             key = stage.cache_key(dep_fps, config)
             start = time.perf_counter()

@@ -5,13 +5,24 @@ Stdlib :mod:`http.client` only; one connection per call (the server is
 answer, carrying the server's machine-readable ``error`` slug so
 callers can branch on ``overloaded`` / ``timeout`` / validation
 failures.
+
+Transport failures — connection refused/reset, a response cut off
+mid-body, a socket timeout — are retried with jittered exponential
+backoff (``retries`` extra attempts, default 2).  Every request the
+service accepts is a deterministic pure computation keyed by content
+fingerprint, so resubmitting is always safe; a resent request that the
+server already finished is answered straight from the artifact cache
+or coalesced onto the in-flight execution.  HTTP-level errors (4xx/5xx)
+are *not* retried: they are deterministic answers, not transport luck.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
-from http.client import HTTPConnection
+import time
+from http.client import HTTPConnection, HTTPException
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Union
 
@@ -36,12 +47,35 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 8000,
         timeout_s: float = 300.0,
+        retries: int = 2,
+        backoff_s: float = 0.2,
+        retry_seed: Optional[int] = None,
     ):
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self._rng = random.Random(retry_seed)
 
     # -- transport -----------------------------------------------------
+
+    def _attempt(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[bytes],
+        headers: Dict[str, str],
+    ):
+        """One connection, one exchange; transport errors propagate."""
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            return response.status, response.getheader("Content-Type", ""), raw
+        finally:
+            conn.close()
 
     def _request(
         self,
@@ -49,24 +83,28 @@ class ServiceClient:
         path: str,
         body: Optional[Dict[str, Any]] = None,
     ):
-        conn = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
-        try:
-            payload = None
-            headers = {}
-            if body is not None:
-                payload = json.dumps(body).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=payload, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
-            return response.status, response.getheader("Content-Type", ""), raw
-        except (ConnectionError, socket.timeout, OSError) as exc:
-            raise ServiceError(
-                0, "unreachable",
-                f"cannot reach {self.host}:{self.port}: {exc}",
-            ) from exc
-        finally:
-            conn.close()
+        payload = None
+        headers: Dict[str, str] = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                delay = (
+                    self.backoff_s * (2 ** (attempt - 1))
+                    * (0.5 + self._rng.random())
+                )
+                time.sleep(delay)
+            try:
+                return self._attempt(method, path, payload, headers)
+            except (ConnectionError, socket.timeout, HTTPException, OSError) as exc:
+                last_error = exc
+        raise ServiceError(
+            0, "unreachable",
+            f"cannot reach {self.host}:{self.port} after "
+            f"{self.retries + 1} attempt(s): {last_error}",
+        ) from last_error
 
     def _json(self, method: str, path: str, body=None) -> Dict[str, Any]:
         status, _ctype, raw = self._request(method, path, body)

@@ -313,6 +313,11 @@ def run_job(
     polled at pipeline stage boundaries (abandoned work stops early and
     raises :class:`~repro.pipeline.pipeline.PipelineCancelled`).
     """
+    from repro import faults
+
+    # Chaos hook: "raise" fails the job with a typed error before any
+    # pipeline work, "stall" models a slow executor slot.
+    faults.hit("service.job", kind=job.kind, source=job.source)
     if job.kind == "evaluate":
         spec = job.spec
         result, report = evaluate_benchmark_detailed(

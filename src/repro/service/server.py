@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Dict, Optional
 
+from repro import faults
 from repro.logutil import configure_logging, get_logger, kv
 from repro.pipeline.cache import resolve_cache
 from repro.pipeline.driver import RunManifest
@@ -229,7 +230,19 @@ class CompileServer:
             "request", route=route, status=response.status, ms=seconds * 1e3
         ))
         try:
-            writer.write(response.encode())
+            encoded = response.encode()
+            action = faults.hit("service.connection", route=route)
+            if action is not None and action.kind == "reset":
+                # Chaos hook: ship half the response, then hard-abort
+                # the transport (RST) — the client must see a broken
+                # read, never a short body parsed as success.
+                writer.write(encoded[: len(encoded) // 2])
+                try:
+                    await writer.drain()
+                finally:
+                    writer.transport.abort()
+                return
+            writer.write(encoded)
             await writer.drain()
         except (ConnectionError, BrokenPipeError):
             pass
@@ -374,8 +387,16 @@ class CompileServer:
                         )
                     else:
                         runner = self._runner or run_job
+                        # Thread workers share the server's cache
+                        # instance, so degradation state and stats are
+                        # process-wide truths (and /metrics can report
+                        # them); process workers get the path spec.
                         call = partial(
-                            runner, job, cache=self._cache_spec,
+                            runner, job,
+                            cache=(
+                                self._cache if self._cache is not None
+                                else self._cache_spec
+                            ),
                             should_cancel=entry.cancel_event.is_set,
                         )
                     payload, records = await loop.run_in_executor(
@@ -434,6 +455,9 @@ class CompileServer:
             "jobs": self.config.jobs,
             "executor": self.config.executor,
             "cache": str(self._cache.root) if self._cache is not None else None,
+            "cache_degraded": (
+                self._cache.degraded if self._cache is not None else None
+            ),
         }
 
     def render_metrics(self) -> str:
@@ -464,6 +488,21 @@ class CompileServer:
                 lines.append(
                     f"romfsm_stage_seconds_total{labels} {totals.seconds:.6f}"
                 )
+        if self._cache is not None:
+            # In-process cache health (authoritative for the thread
+            # executor; process-pool workers hold their own instances).
+            lines.append(
+                "# HELP romfsm_cache_degraded Whether the artifact cache "
+                "fell back to its in-memory store after repeated I/O errors.")
+            lines.append("# TYPE romfsm_cache_degraded gauge")
+            lines.append(f"romfsm_cache_degraded {int(self._cache.degraded)}")
+            lines.append(
+                "# HELP romfsm_cache_io_errors_total I/O errors absorbed "
+                "by the artifact cache.")
+            lines.append("# TYPE romfsm_cache_io_errors_total counter")
+            lines.append(
+                f"romfsm_cache_io_errors_total {self._cache.stats.io_errors}"
+            )
         return self.metrics.render(extra_lines=lines)
 
 

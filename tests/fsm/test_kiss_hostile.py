@@ -1,0 +1,105 @@
+"""parse_kiss on hostile inputs: every failure must be an FsmError
+(with a line number where a specific line is at fault), never a raw
+ValueError/IndexError escaping the parser."""
+
+import re
+
+import pytest
+
+from repro.fsm.kiss import parse_kiss
+from repro.fsm.machine import FsmError
+
+VALID = """\
+.i 1
+.o 1
+.r A
+0 A B 0
+1 A A 0
+0 B A 1
+1 B B 1
+"""
+
+# Corpus of hostile inputs that must each fail with a line-numbered
+# FsmError.  (name, text, message fragment)
+HOSTILE_LINE_CASES = [
+    ("directive_no_arg", ".i\n.o 1\n0 A A 0\n", r"line 1: \.i expects"),
+    ("directive_non_integer", ".i x\n.o 1\n0 A A 0\n",
+     r"line 1: \.i argument 'x'"),
+    ("directive_negative", ".i -2\n.o 1\n0 A A 0\n", r"line 1: \.i must be"),
+    ("directive_extra_args", ".i 1 2\n.o 1\n0 A A 0\n",
+     r"line 1: \.i expects"),
+    ("directive_unknown", ".i 1\n.o 1\n.wat 3\n0 A A 0\n",
+     r"line 3: unknown directive"),
+    ("duplicate_i", ".i 1\n.i 2\n.o 1\n0 A A 0\n",
+     r"line 2: duplicate \.i"),
+    ("duplicate_o", ".i 1\n.o 1\n.o 1\n0 A A 0\n",
+     r"line 3: duplicate \.o"),
+    ("duplicate_r", ".i 1\n.o 1\n.r A\n.r B\n0 A A 0\n",
+     r"line 4: duplicate \.r"),
+    ("duplicate_s", ".i 1\n.o 1\n.s 2\n.s 2\n0 A A 0\n",
+     r"line 4: duplicate \.s"),
+    ("duplicate_p", ".i 1\n.o 1\n.p 1\n.p 1\n0 A A 0\n",
+     r"line 4: duplicate \.p"),
+    ("reset_no_arg", ".i 1\n.o 1\n.r\n0 A A 0\n", r"line 3: \.r expects"),
+    ("truncated_transition", ".i 1\n.o 1\n0 A\n", r"line 3: expected"),
+    ("transition_extra_fields", ".i 1\n.o 1\n0 A B 0 junk\n",
+     r"line 3: expected"),
+    ("input_width_mismatch", ".i 2\n.o 1\n0 A B 0\n", r"line 3: input"),
+    ("output_width_mismatch", ".i 1\n.o 2\n0 A B 0\n", r"line 3: output"),
+    ("bad_input_cube", ".i 1\n.o 1\nz A B 0\n", r"line 3"),
+    ("bad_output_chars", ".i 1\n.o 1\n0 A B x\n", r"line 3"),
+]
+
+
+@pytest.mark.parametrize(
+    "text,fragment",
+    [case[1:] for case in HOSTILE_LINE_CASES],
+    ids=[case[0] for case in HOSTILE_LINE_CASES],
+)
+def test_hostile_input_fails_with_line_numbered_fsm_error(text, fragment):
+    with pytest.raises(FsmError, match=fragment) as info:
+        parse_kiss(text)
+    assert re.search(r"line \d+", str(info.value))
+
+
+@pytest.mark.parametrize("text,fragment", [
+    ("", r"must declare \.i and \.o"),
+    (".i 1\n.o 1\n", "no transitions"),
+    (".o 1\n0 A A 0\n", r"must declare \.i and \.o"),
+    (".i 1\n.o 1\n.s 5\n0 A B 0\n", r"\.s declares 5"),
+    (".i 1\n.o 1\n.p 9\n0 A B 0\n", r"\.p declares 9"),
+], ids=["empty", "no_transitions", "missing_i", "state_count_mismatch",
+        "product_count_mismatch"])
+def test_whole_file_problems_are_fsm_errors(text, fragment):
+    with pytest.raises(FsmError, match=fragment):
+        parse_kiss(text)
+
+
+def test_fuzzed_mutations_never_raise_raw_errors():
+    """Mutate the valid text exhaustively-ish; any rejection must be an
+    FsmError, and accepted variants must produce a coherent machine."""
+    lines = VALID.splitlines()
+    mutations = []
+    for i in range(len(lines)):
+        mutations.append("\n".join(lines[:i] + lines[i + 1:]))      # drop line
+        mutations.append("\n".join(lines[:i] + [lines[i] + " X"] + lines[i + 1:]))
+        mutations.append("\n".join(lines[:i] + [lines[i][: len(lines[i]) // 2]]
+                                   + lines[i + 1:]))                # truncate
+        mutations.append("\n".join(lines + [lines[i]]))             # duplicate
+    for chars in ("\x00", "....", ". i 1", "-", "0 0 0 0 0 0 0"):
+        mutations.append(VALID + chars + "\n")
+
+    for text in mutations:
+        try:
+            fsm = parse_kiss(text)
+        except FsmError:
+            continue
+        assert fsm.num_states >= 1
+        assert fsm.reset_state in fsm.states
+
+
+def test_valid_text_still_parses():
+    fsm = parse_kiss(VALID, name="ok")
+    assert fsm.num_states == 2
+    assert fsm.reset_state == "A"
+    assert len(fsm.transitions) == 4

@@ -1,0 +1,81 @@
+"""ServiceClient transport-retry behavior, without a live server."""
+
+import json
+import socket
+from http.client import IncompleteRead
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+
+
+def flaky_attempt(client, failures, exc_factory, response=None):
+    """Patch ``client._attempt`` to fail ``failures`` times, then answer."""
+    calls = []
+
+    def attempt(method, path, payload, headers):
+        calls.append((method, path))
+        if len(calls) <= failures:
+            raise exc_factory()
+        if response is not None:
+            return response
+        return 200, "application/json", json.dumps({"ok": True}).encode()
+
+    client._attempt = attempt
+    return calls
+
+
+@pytest.mark.parametrize("exc_factory", [
+    ConnectionResetError,
+    ConnectionRefusedError,
+    socket.timeout,
+    lambda: IncompleteRead(b"partial"),
+    lambda: OSError("network down"),
+], ids=["reset", "refused", "timeout", "incomplete_read", "oserror"])
+def test_transport_failures_are_retried(exc_factory):
+    client = ServiceClient(retries=2, backoff_s=0.001, retry_seed=0)
+    calls = flaky_attempt(client, failures=2, exc_factory=exc_factory)
+    assert client.healthz() == {"ok": True}
+    assert len(calls) == 3  # two failures + the success
+
+
+def test_exhausted_retries_raise_unreachable():
+    client = ServiceClient(port=59999, retries=1, backoff_s=0.001,
+                           retry_seed=0)
+    calls = flaky_attempt(client, failures=99,
+                          exc_factory=ConnectionResetError)
+    with pytest.raises(ServiceError) as info:
+        client.healthz()
+    assert info.value.reason == "unreachable"
+    assert info.value.status == 0
+    assert "2 attempt(s)" in info.value.message
+    assert len(calls) == 2  # retries=1 means exactly two attempts
+
+
+def test_http_errors_are_not_retried():
+    client = ServiceClient(retries=3, backoff_s=0.001, retry_seed=0)
+    error = json.dumps({"error": "bad_request", "message": "nope"}).encode()
+    calls = flaky_attempt(client, failures=0, exc_factory=None,
+                          response=(400, "application/json", error))
+    with pytest.raises(ServiceError) as info:
+        client.evaluate(benchmark="dk14")
+    assert info.value.status == 400
+    assert info.value.reason == "bad_request"
+    assert len(calls) == 1  # a deterministic answer, not transport luck
+
+
+def test_retries_zero_means_single_attempt():
+    client = ServiceClient(retries=0, backoff_s=0.001, retry_seed=0)
+    calls = flaky_attempt(client, failures=1,
+                          exc_factory=ConnectionResetError)
+    with pytest.raises(ServiceError, match="unreachable"):
+        client.healthz()
+    assert len(calls) == 1
+
+
+def test_unreachable_server_raises_typed_error():
+    # A real connection attempt against a port nothing listens on.
+    client = ServiceClient(host="127.0.0.1", port=1, timeout_s=0.5,
+                           retries=0, backoff_s=0.001, retry_seed=0)
+    with pytest.raises(ServiceError, match="unreachable"):
+        client.healthz()
