@@ -54,6 +54,7 @@ class TimingModel:
     bram_clk_to_out_ns: float = 2.10    # synchronous read latency
     bram_addr_setup_ns: float = 0.50
     bram_en_setup_ns: float = 0.70      # EN is sampled like an address
+    cascade_hop_ns: float = 0.25        # dedicated block-to-block route
     interconnect: InterconnectModel = InterconnectModel()
 
     def ff_implementation(
@@ -95,7 +96,7 @@ class TimingModel:
             self.bram_clk_to_out_ns
             + route
             + mux_levels * (self.lut_delay_ns + route)
-            + max(0, series_brams - 1) * 0.25  # dedicated cascade hop
+            + max(0, series_brams - 1) * self.cascade_hop_ns
             + self.bram_addr_setup_ns
         )
         return TimingReport(

@@ -2,12 +2,14 @@
 
 Subcommands mirror the paper's artifacts::
 
-    romfsm tables [--cycles N] [--seed S] [--idle F]
+    romfsm tables [--cycles N] [--seed S] [--idle F] [--backend NAME]
                   [--jobs N] [--cache-dir D | --no-cache]  # Tables 1-4
-    romfsm map FILE.kiss2|BENCH [--clock-control] [--vhdl OUT.vhd]
-    romfsm eval FILE.kiss2|BENCH [--freq MHZ ...]
+    romfsm map FILE.kiss2|BENCH [--clock-control] [--backend NAME]
+                  [--vhdl OUT.vhd]
+    romfsm eval FILE.kiss2|BENCH [--freq MHZ ...] [--backend NAME]
     romfsm serve [--port P] [--jobs N] [--max-queue Q] [--timeout S]
     romfsm submit FILE.kiss2|--benchmark NAME [--port P]
+    romfsm backends                                     # backend registry
     romfsm bench-stats                                  # suite statistics
     romfsm cache {stats,clear} [--cache-dir D]          # artifact cache
 
@@ -30,6 +32,11 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.arch.memblock import (
+    UnknownBackendError,
+    list_backends,
+    resolve_backend,
+)
 from repro.bench.suite import PAPER_BENCHMARKS, benchmark_stats, load_benchmark
 from repro.flows.flow import PAPER_FREQUENCIES_MHZ, evaluate_benchmark_detailed
 from repro.flows.tables import (
@@ -75,6 +82,25 @@ def _load_fsm_arg(arg: str) -> FSM:
         f"{arg!r} is neither a readable .kiss2 file nor a known benchmark "
         f"(available: {', '.join(PAPER_BENCHMARKS)})"
     )
+
+
+def _add_backend_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", metavar="NAME",
+        help="memory-block technology backend (default: virtex2-bram; "
+             "see `romfsm backends` for the registry)",
+    )
+
+
+def _resolve_backend_arg(args: argparse.Namespace) -> str:
+    """The ``--backend`` choice as a canonical registered name.
+
+    Raises :class:`CliError` (one line, exit 2) on an unregistered name.
+    """
+    try:
+        return resolve_backend(getattr(args, "backend", None)).name
+    except UnknownBackendError as exc:
+        raise CliError(str(exc))
 
 
 def _add_cache_options(parser: argparse.ArgumentParser) -> None:
@@ -138,7 +164,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     cache = _cache_spec(args)
     results = run_all(
         num_cycles=args.cycles, seed=args.seed, idle_fraction=args.idle,
-        jobs=args.jobs, cache=cache,
+        jobs=args.jobs, cache=cache, backend=_resolve_backend_arg(args),
     )
     rendered = [table(results) for table in (table1, table2, table3, table4)]
     for table in rendered:
@@ -162,16 +188,19 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 def _cmd_map(args: argparse.Namespace) -> int:
     fsm = _load_fsm_arg(args.file)
+    backend = _resolve_backend_arg(args)
     impl = map_fsm_to_rom(
         fsm,
         clock_control=args.clock_control,
         moore_outputs=args.moore_outputs,
         force_compaction=args.force_compaction,
+        backend=backend,
     )
     util = impl.utilization
     print(f"FSM {fsm.name}: {fsm.num_states} states, "
           f"{fsm.num_inputs} in, {fsm.num_outputs} out")
-    print(f"  BRAM config   : {impl.config.name} x{impl.num_brams} "
+    print(f"  backend       : {impl.backend_model.name}")
+    print(f"  memory config : {impl.config.name} x{impl.num_brams} "
           f"({impl.parallel_brams} parallel, {impl.series_brams} series)")
     compacted = " (column compacted)" if impl.compaction else ""
     print(f"  address bits  : {impl.layout.addr_bits}{compacted}")
@@ -218,6 +247,7 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         idle_fraction=args.idle,
         seed=args.seed,
         cache=_cache_spec(args),
+        backend=_resolve_backend_arg(args),
     )
     if args.profile:
         _print_eval_profile(report)
@@ -233,7 +263,11 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     print(format_table(
         ["frequency", "FF (mW)", "EMB (mW)", "EMB+cc (mW)"], rows
     ))
-    print(f"\nsaving @ {args.freq[-1]:g} MHz : "
+    rom = result.rom_impl
+    print(f"\nbackend  : {rom.backend_model.name} "
+          f"({rom.config.name} x{rom.num_brams}, "
+          f"{rom.parallel_brams} parallel, {rom.series_brams} series)")
+    print(f"saving @ {args.freq[-1]:g} MHz : "
           f"{result.saving_percent(args.freq[-1]):.1f}% "
           f"(with clock control: {result.cc_saving_percent(args.freq[-1]):.1f}%"
           f" at {100 * result.achieved_idle_fraction:.0f}% idle)")
@@ -356,6 +390,29 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(_args: argparse.Namespace) -> int:
+    rows = []
+    for model in list_backends():
+        ratios = " ".join(c.name for c in model.configs)
+        rows.append([
+            model.name,
+            model.block_bits,
+            ratios,
+            model.max_series,
+            "no" if model.volatile else "yes",
+            f"{model.clk_to_out_ns:.2f}",
+        ])
+    print(format_table(
+        ["backend", "bits/block", "aspect ratios", "max series",
+         "non-volatile", "clk-to-out (ns)"],
+        rows,
+    ))
+    print()
+    for model in list_backends():
+        print(f"{model.name}: {model.description}")
+    return 0
+
+
 def _cmd_bench_stats(_args: argparse.Namespace) -> int:
     rows = []
     for name in PAPER_BENCHMARKS:
@@ -397,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--manifest", metavar="FILE",
                    help="write the run manifest (stage timings, cache "
                         "hits/misses) as JSON to this path")
+    _add_backend_option(p)
     _add_pipeline_options(p)
     _add_fault_options(p)
     p.set_defaults(func=_cmd_tables)
@@ -411,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--structural", action="store_true",
                    help="instantiate RAMB16 primitives with INIT generics "
                         "instead of an inferred ROM")
+    _add_backend_option(p)
     p.set_defaults(func=_cmd_map)
 
     p = sub.add_parser("eval", help="power-compare both implementations")
@@ -423,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="print a per-stage timing table (cache hits/"
                         "misses and seconds) before the power numbers")
+    _add_backend_option(p)
     _add_cache_options(p)
     _add_fault_options(p)
     p.set_defaults(func=_cmd_eval)
@@ -484,6 +544,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--freq", type=float, nargs="+", metavar="MHZ")
     p.add_argument("--cycles", type=int, metavar="N")
     p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "backends", help="list the registered memory-block backends"
+    )
+    p.set_defaults(func=_cmd_backends)
 
     p = sub.add_parser("bench-stats", help="print benchmark STG statistics")
     p.set_defaults(func=_cmd_bench_stats)

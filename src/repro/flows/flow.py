@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 from repro.arch.device import Device
+from repro.arch.memblock import MemoryBlockModel, resolve_backend
 from repro.arch.timing import TimingReport
 from repro.fsm.kiss import format_kiss
 from repro.fsm.machine import FSM
@@ -114,12 +115,16 @@ def evaluation_config(
     params: PowerParams = VIRTEX2_PARAMS,
     with_clock_control: bool = True,
     verify: bool = True,
+    backend: Union[None, str, MemoryBlockModel] = None,
 ) -> Dict[str, Any]:
     """Build the pipeline config dict for one benchmark evaluation.
 
     A named benchmark is keyed by its name; an ad-hoc FSM object is
     keyed by its canonical KISS2 text, so the same machine reaches the
-    same cache entries however it enters the flow.
+    same cache entries however it enters the flow.  ``backend`` (a
+    memory-block technology, see :mod:`repro.arch.memblock`) is stored
+    as its resolved canonical name, so the default and an explicit
+    ``"virtex2-bram"`` share cache entries and coalesce as one job.
     """
     config: Dict[str, Any] = {
         "frequencies": tuple(float(f) for f in frequencies_mhz),
@@ -131,6 +136,7 @@ def evaluation_config(
         "params": params,
         "with_clock_control": with_clock_control,
         "verify": verify,
+        "backend": resolve_backend(backend).name,
     }
     if isinstance(name_or_fsm, str):
         config["benchmark"] = name_or_fsm
@@ -195,13 +201,15 @@ def evaluate_benchmark(
     with_clock_control: bool = True,
     verify: bool = True,
     cache: Union[None, bool, str, ArtifactCache] = None,
+    backend: Union[None, str, MemoryBlockModel] = None,
 ) -> EvaluationResult:
     """Run the full Fig. 6 flow for one benchmark.
 
     Table 2 numbers (ff_power/rom_power) use uniform random stimulus;
     Table 3 numbers (rom_cc_power) use the idle-biased stimulus with the
     requested target fraction, with the clock-control design verified on
-    it as well.
+    it as well.  ``backend`` selects the memory-block technology the
+    ROM implementations target (default: Virtex-II BlockRAM).
     """
     result, _ = evaluate_benchmark_detailed(
         name_or_fsm,
@@ -215,6 +223,7 @@ def evaluate_benchmark(
         params=params,
         with_clock_control=with_clock_control,
         verify=verify,
+        backend=backend,
     )
     return result
 

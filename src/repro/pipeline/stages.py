@@ -25,7 +25,10 @@ Config keys consumed by the stages (see ``evaluation_config`` in
 :mod:`repro.flows.flow` for how they are assembled): ``benchmark``,
 ``kiss``, ``name``, ``encoding``, ``lut_k``, ``moore_outputs``,
 ``num_cycles``, ``seed``, ``idle_fraction``, ``verify``,
-``with_clock_control``, ``frequencies``, ``device``, ``params``.
+``with_clock_control``, ``frequencies``, ``device``, ``params``,
+``backend`` (the memory-block technology name; part of the ``rom-map``/
+``rom-cc`` cache keys so artifacts from different fabrics never
+collide).
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.arch.device import Device, get_device
-from repro.arch.timing import TimingModel, TimingReport
+from repro.arch.timing import TimingReport
 from repro.fsm.encoding import StateEncoding, make_encoding
 from repro.fsm.kiss import parse_kiss
 from repro.fsm.machine import FSM
@@ -189,7 +192,10 @@ def _stage_ff_synth(ctx: StageContext) -> FfImplementation:
 def _rom_map(ctx: StageContext, clock_control: bool) -> RomFsmImplementation:
     fsm = ctx.value("parse")
     mode = ctx.cfg("moore_outputs") or paper_moore_output_mode(fsm)
-    return map_fsm_to_rom(fsm, clock_control=clock_control, moore_outputs=mode)
+    return map_fsm_to_rom(
+        fsm, clock_control=clock_control, moore_outputs=mode,
+        backend=ctx.cfg("backend"),
+    )
 
 
 def _stage_rom_map(ctx: StageContext) -> RomFsmImplementation:
@@ -261,7 +267,9 @@ def _stage_power(ctx: StageContext) -> PowerBundle:
     device = _resolve_device(ctx.cfg("device"))
     params = _resolve_params(ctx.cfg("params"))
     frequencies = ctx.cfg("frequencies") or ()
-    timing = TimingModel(interconnect=params.interconnect)
+    # Block timing comes from the rom-map artifact's technology backend
+    # (the Virtex-II backend carries the historical TimingModel values).
+    timing = rom_impl.backend_model.timing_model(params.interconnect)
 
     ff_power: Dict[str, PowerReport] = {}
     rom_power: Dict[str, PowerReport] = {}
@@ -332,11 +340,13 @@ def build_evaluation_pipeline(with_clock_control: bool = True) -> Pipeline:
                ("parse",), ("encoding",)),
         make_stage("ff-synth", _stage_ff_synth,
                ("parse", "complete-encode"), ("encoding", "lut_k")),
-        make_stage("rom-map", _stage_rom_map, ("parse",), ("moore_outputs",)),
+        make_stage("rom-map", _stage_rom_map, ("parse",),
+               ("moore_outputs", "backend")),
     ]
     if with_clock_control:
         stages.append(
-            make_stage("rom-cc", _stage_rom_cc, ("parse",), ("moore_outputs",))
+            make_stage("rom-cc", _stage_rom_cc, ("parse",),
+                   ("moore_outputs", "backend"))
         )
     stages += [
         make_stage("simulate", _stage_simulate,

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.arch.bram import BlockRam, BramConfig
 from repro.arch.device import Utilization
+from repro.arch.memblock import MemoryBlockModel, resolve_backend
 from repro.fsm.encoding import StateEncoding
 from repro.fsm.machine import FSM, FsmError
 from repro.logic.lutmap import LutMapping
@@ -93,6 +94,12 @@ class RomFsmImplementation:
         when outputs are external; the ROM word then has no output field.
     clock_control:
         The §6 enable logic, when requested.
+    backend:
+        The memory-block technology model the mapping targeted (see
+        :mod:`repro.arch.memblock`); ``None`` means the Virtex-II
+        default.  Being a dataclass field, the backend participates in
+        the artifact fingerprint, so mappings for different fabrics
+        never collide in the content-addressed cache.
     """
 
     fsm: FSM
@@ -106,6 +113,7 @@ class RomFsmImplementation:
     mux_mapping: Optional[LutMapping] = None
     moore_output_mapping: Optional[LutMapping] = None
     clock_control: Optional[ClockControl] = None
+    backend: Optional[MemoryBlockModel] = None
 
     def __post_init__(self) -> None:
         if len(self.contents) != self.layout.depth:
@@ -121,6 +129,11 @@ class RomFsmImplementation:
     # ------------------------------------------------------------------
     # Resource accounting
     # ------------------------------------------------------------------
+
+    @property
+    def backend_model(self) -> MemoryBlockModel:
+        """The resolved technology model (Virtex-II BRAM when unset)."""
+        return resolve_backend(self.backend)
 
     @property
     def num_brams(self) -> int:

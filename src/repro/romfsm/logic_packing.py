@@ -24,7 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.arch.bram import BRAM_CONFIGS, BramConfig, select_config
+from repro.arch.bram import BramConfig
+from repro.arch.memblock import resolve_backend
 from repro.logic.lutmap import GND_NET, VCC_NET, LutMapping, MappedLut
 
 __all__ = ["LogicPack", "PackedNetlist", "pack_logic_into_brams"]
@@ -106,6 +107,7 @@ def pack_logic_into_brams(
     max_brams: int = 1,
     min_luts_per_block: int = 4,
     exclude_outputs: Sequence[str] = (),
+    backend=None,
 ) -> PackedNetlist:
     """Absorb output cones of ``mapping`` into up to ``max_brams`` blocks.
 
@@ -123,8 +125,13 @@ def pack_logic_into_brams(
     exclude_outputs:
         Output names that must stay in LUTs (e.g. next-state bits whose
         nets also feed registers).
+    backend:
+        Memory-block technology backend supplying the aspect ratios
+        (name, model, or ``None`` for the Virtex-II default).
     """
-    max_addr = max(c.addr_bits for c in BRAM_CONFIGS)
+    mem = resolve_backend(backend)
+    select_config = mem.select_config
+    max_addr = mem.max_addr_bits
     excluded = set(exclude_outputs)
     cones: Dict[str, Tuple[Set[str], Set[str]]] = {}
     for name, net in mapping.outputs.items():
@@ -149,7 +156,7 @@ def pack_logic_into_brams(
         seed = max(remaining, key=lambda n: len(remaining[n][0]))
         group = [seed]
         support = set(remaining[seed][1])
-        widest = max(c.width for c in BRAM_CONFIGS)
+        widest = mem.max_data_bits
         for name, (cone, sup) in sorted(
             remaining.items(), key=lambda kv: len(kv[1][0]), reverse=True
         ):

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.arch.bram import BRAM_CONFIGS, BramConfig, select_config
+from repro.arch.memblock import MemoryBlockModel, resolve_backend
 from repro.fsm.encoding import StateEncoding, binary_encoding
 from repro.fsm.machine import FSM, FsmError
 from repro.logic.lutmap import LutMapping, map_network, map_truth_tables
@@ -36,14 +36,6 @@ from repro.romfsm.contents import RomLayout, generate_contents
 from repro.romfsm.impl import RomFsmImplementation
 
 __all__ = ["MappingError", "map_fsm_to_rom", "synthesize_moore_outputs"]
-
-# Address-space growth through series joining doubles the block count per
-# extra bit; beyond this many blocks the mapping is rejected as the paper
-# would reject it (the FF implementation is then the right choice).
-_MAX_SERIES_BRAMS = 8
-
-_MAX_ADDR_BITS = max(c.addr_bits for c in BRAM_CONFIGS)
-_MAX_DATA_BITS = max(c.width for c in BRAM_CONFIGS)
 
 
 class MappingError(FsmError):
@@ -88,6 +80,7 @@ def map_fsm_to_rom(
     clock_control: bool = False,
     force_compaction: bool = False,
     max_idle_cubes: int = 8,
+    backend=None,
 ) -> RomFsmImplementation:
     """Map ``fsm`` into embedded memory blocks per the paper's algorithm.
 
@@ -110,6 +103,11 @@ def map_fsm_to_rom(
     max_idle_cubes:
         Clock-control area budget (see
         :func:`repro.romfsm.clock_control.synthesize_clock_control`).
+    backend:
+        Memory-block technology backend: a registered name, a
+        :class:`~repro.arch.memblock.MemoryBlockModel`, or ``None`` for
+        the Virtex-II BlockRAM default.  The backend answers every
+        aspect-ratio/series legality question below.
 
     Returns
     -------
@@ -117,6 +115,7 @@ def map_fsm_to_rom(
     """
     if moore_outputs not in ("auto", "external", "internal"):
         raise ValueError(f"bad moore_outputs option {moore_outputs!r}")
+    mem: MemoryBlockModel = resolve_backend(backend)
     fsm.validate()
     encoding = binary_encoding(fsm, reset_code=0)
     s = encoding.width
@@ -151,9 +150,9 @@ def map_fsm_to_rom(
     ):
         best_addr = s + min(num_inputs, candidate_compaction.width)
         lane_width = max(
-            (c.width for c in BRAM_CONFIGS
-             if c.addr_bits >= min(best_addr, _MAX_ADDR_BITS)),
-            default=_MAX_DATA_BITS,
+            (c.width for c in mem.configs
+             if c.addr_bits >= min(best_addr, mem.max_addr_bits)),
+            default=mem.max_data_bits,
         )
         internal_lanes = -(-data_bits(False) // lane_width)
         external_lanes = -(-data_bits(True) // lane_width)
@@ -168,21 +167,17 @@ def map_fsm_to_rom(
 
     def plan(addr_bits: int):
         """(config, parallel, series) lanes for an address/width demand."""
-        if addr_bits > _MAX_ADDR_BITS:
-            # Fig. 5 lines 16-18: series joining grows the address space.
-            series = 1 << (addr_bits - _MAX_ADDR_BITS)
-            lane_addr = _MAX_ADDR_BITS
-        else:
-            series = 1
-            lane_addr = addr_bits
-        config = select_config(lane_addr, min(width_needed, _MAX_DATA_BITS))
+        # Fig. 5 lines 16-18: series joining grows the address space.
+        series, lane_addr = mem.series_for(addr_bits)
+        config = mem.select_config(
+            lane_addr, min(width_needed, mem.max_data_bits)
+        )
         if config is None:
             # No single aspect ratio offers both; take the widest one
             # with enough address lines and join lanes in parallel.
-            candidates = [c for c in BRAM_CONFIGS if c.addr_bits >= lane_addr]
-            if not candidates:
+            config = mem.widest_config(lane_addr)
+            if config is None:
                 return None
-            config = max(candidates, key=lambda c: c.width)
         parallel = -(-width_needed // config.width)  # ceil division
         return config, parallel, series
 
@@ -219,15 +214,15 @@ def map_fsm_to_rom(
             chosen = compact_plan
     if chosen is None:
         raise MappingError(
-            f"{fsm.name}: no BRAM configuration offers "
+            f"{fsm.name}: no {mem.name} configuration offers "
             f"{input_bits + s} address lines even after compaction"
         )
     config, parallel, series = chosen
-    if series > _MAX_SERIES_BRAMS:
+    if not mem.legal_series(series):
         raise MappingError(
             f"{fsm.name}: {input_bits + s} address bits need {series} "
-            f"blocks in series (> {_MAX_SERIES_BRAMS}); FSM too wide for "
-            f"the ROM approach"
+            f"blocks in series (> {mem.max_series}); FSM too wide for "
+            f"the {mem.name} ROM approach"
         )
 
     layout = RomLayout(
@@ -256,6 +251,7 @@ def map_fsm_to_rom(
         compaction=compaction,
         mux_mapping=mux_mapping,
         moore_output_mapping=moore_mapping,
+        backend=mem,
     )
     if clock_control:
         impl.clock_control = synthesize_clock_control(

@@ -22,6 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.arch.memblock import (
+    DEFAULT_BACKEND_NAME,
+    UnknownBackendError,
+    resolve_backend,
+)
 from repro.bench.suite import BENCHMARK_SPECS
 from repro.flows.flow import (
     PAPER_FREQUENCIES_MHZ,
@@ -48,11 +53,11 @@ MAX_FREQUENCIES = 16
 
 _EVALUATE_FIELDS = {
     "kind", "benchmark", "kiss", "name", "frequencies_mhz", "num_cycles",
-    "idle_fraction", "seed", "encoding", "with_clock_control",
+    "idle_fraction", "seed", "encoding", "with_clock_control", "backend",
 }
 _MAP_FIELDS = {
     "kind", "benchmark", "kiss", "name", "clock_control", "moore_outputs",
-    "force_compaction",
+    "force_compaction", "backend",
 }
 _ENCODINGS = ("binary", "gray", "one-hot", "johnson")
 _MOORE_MODES = ("auto", "external", "internal")
@@ -131,6 +136,19 @@ def _flag(body: Dict[str, Any], key: str, default: bool) -> bool:
     return value
 
 
+def _backend(body: Dict[str, Any]) -> str:
+    """The request's memory-block backend as a canonical registered name."""
+    value = body.get("backend")
+    if value is None:
+        return DEFAULT_BACKEND_NAME
+    if not isinstance(value, str):
+        raise JobError("'backend' must be a string", reason="unknown_backend")
+    try:
+        return resolve_backend(value).name
+    except UnknownBackendError as exc:
+        raise JobError(str(exc), reason="unknown_backend")
+
+
 def parse_job(body: Any, kind: str = "evaluate") -> Job:
     """Validate a decoded request body into a :class:`Job` (or raise)."""
     if not isinstance(body, dict):
@@ -170,6 +188,7 @@ def _parse_evaluate(body: Dict[str, Any]) -> Job:
         "seed": _number(body, "seed", 2004, 0, 2**63 - 1, integer=True),
         "encoding": _choice(body, "encoding", "binary", _ENCODINGS),
         "with_clock_control": _flag(body, "with_clock_control", True),
+        "backend": _backend(body),
     }
     config = evaluation_config(
         spec["name_or_fsm"],
@@ -179,6 +198,7 @@ def _parse_evaluate(body: Dict[str, Any]) -> Job:
         seed=spec["seed"],
         encoding=spec["encoding"],
         with_clock_control=spec["with_clock_control"],
+        backend=spec["backend"],
     )
     return Job(
         kind="evaluate",
@@ -198,6 +218,7 @@ def _parse_map(body: Dict[str, Any]) -> Job:
         "clock_control": _flag(body, "clock_control", False),
         "moore_outputs": _choice(body, "moore_outputs", "auto", _MOORE_MODES),
         "force_compaction": _flag(body, "force_compaction", False),
+        "backend": _backend(body),
     }
     key_spec = dict(spec)
     if isinstance(name_or_fsm, FSM):
@@ -263,6 +284,7 @@ def evaluate_payload(result: EvaluationResult) -> Dict[str, Any]:
             "encoding": result.ff_impl.encoding.style,
         },
         "rom": {
+            "backend": rom.backend_model.name,
             "bram_config": rom.config.name,
             "brams": rom.num_brams,
             "addr_bits": rom.layout.addr_bits,
@@ -283,6 +305,7 @@ def map_payload(impl) -> Dict[str, Any]:
     """JSON-ready description of one ROM mapping (the compile job)."""
     util = impl.utilization
     payload = {
+        "backend": impl.backend_model.name,
         "bram_config": impl.config.name,
         "brams": impl.num_brams,
         "parallel_brams": impl.parallel_brams,
@@ -330,6 +353,7 @@ def run_job(
             seed=spec["seed"],
             encoding=spec["encoding"],
             with_clock_control=spec["with_clock_control"],
+            backend=spec["backend"],
         )
         return evaluate_payload(result), list(report.records)
     if job.kind == "map":
@@ -346,6 +370,7 @@ def run_job(
             clock_control=spec["clock_control"],
             moore_outputs=spec["moore_outputs"],
             force_compaction=spec["force_compaction"],
+            backend=spec["backend"],
         )
         return map_payload(impl), []
     raise JobError(f"unknown job kind {job.kind!r}")

@@ -99,7 +99,8 @@ class TestCommands:
     def test_map_reports_resources(self, kiss_file, capsys):
         assert main(["map", kiss_file]) == 0
         out = capsys.readouterr().out
-        assert "BRAM config" in out
+        assert "memory config" in out
+        assert "backend       : virtex2-bram" in out
         assert "512x36" in out
 
     def test_map_writes_vhdl(self, kiss_file, tmp_path, capsys):
@@ -204,11 +205,50 @@ class TestCommands:
         assert main([
             "eval", "dk14", "--cycles", "100", "--freq", "100",
         ]) == 0
-        assert "saving @ 100 MHz" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "saving @ 100 MHz" in out
+        assert "backend  : virtex2-bram" in out
+
+    def test_eval_with_reram_backend(self, capsys):
+        assert main([
+            "eval", "dk14", "--cycles", "100", "--freq", "100",
+            "--no-cache", "--backend", "reram-1t1r",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend  : reram-1t1r" in out
+        assert "saving @ 100 MHz" in out
+
+    def test_unknown_backend_is_one_line_exit_2(self, capsys):
+        for argv in (
+            ["eval", "dk14", "--backend", "nosuch"],
+            ["map", "dk14", "--backend", "nosuch"],
+            ["tables", "--backend", "nosuch"],
+        ):
+            assert main(argv) == 2
+            captured = capsys.readouterr()
+            assert captured.err.startswith(
+                "romfsm: error: unknown backend 'nosuch'")
+            assert "virtex2-bram" in captured.err
+            assert len(captured.err.strip().splitlines()) == 1
+
+    def test_backends_lists_registry(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "virtex2-bram" in out
+        assert "reram-1t1r" in out
+        assert "512x36" in out      # BRAM's widest ratio
+        assert "512x32" in out      # ReRAM's widest ratio
+        assert "non-volatile" in out
+
+    def test_map_with_reram_backend(self, capsys):
+        assert main(["map", "dk14", "--backend", "reram-1t1r"]) == 0
+        out = capsys.readouterr().out
+        assert "backend       : reram-1t1r" in out
+        assert "memory config" in out
 
     def test_map_accepts_benchmark_name(self, capsys):
         assert main(["map", "dk14"]) == 0
-        assert "BRAM config" in capsys.readouterr().out
+        assert "memory config" in capsys.readouterr().out
 
     def test_no_cache_overrides_environment(
         self, kiss_file, tmp_path, capsys, monkeypatch

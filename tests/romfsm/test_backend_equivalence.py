@@ -1,0 +1,129 @@
+"""Golden equivalence of the backend refactor.
+
+Two guarantees, per ISSUE: (1) the registered ``virtex2-bram`` backend —
+and the default (no backend argument) — reproduce the pre-backend
+pipeline *byte for byte*: identical artifact fingerprints for every
+paper benchmark under every mapper configuration, and identical service
+payloads end to end.  (2) the ``reram-1t1r`` backend, while producing
+different power numbers, still implements every FSM cycle-exactly.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import generate_fsm
+from repro.bench.suite import PAPER_BENCHMARKS, load_benchmark
+from repro.flows.flow import evaluate_benchmark
+from repro.fsm.simulate import FsmSimulator, random_stimulus
+from repro.pipeline.artifact import fingerprint
+from repro.romfsm.mapper import map_fsm_to_rom
+from repro.service.jobs import evaluate_payload
+
+from .test_equivalence_properties import spec_strategy
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+# Every mapper configuration the flows exercise.
+MAPPER_GRID = [
+    dict(),
+    dict(clock_control=True),
+    dict(force_compaction=True),
+    dict(clock_control=True, force_compaction=True),
+    dict(moore_outputs="external"),
+]
+
+SMALL = dict(num_cycles=150, frequencies_mhz=(100.0,), seed=11, cache=False)
+
+
+def _map_or_error(fsm, **kwargs):
+    """The mapping's fingerprint, or the error it raises instead."""
+    try:
+        return fingerprint(map_fsm_to_rom(fsm, **kwargs))
+    except ValueError as exc:
+        return ("error", type(exc).__name__, str(exc))
+
+
+class TestVirtex2Golden:
+    """default == explicit ``virtex2-bram``, on every benchmark × config."""
+
+    @pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+    def test_benchmark_mappings_bit_identical(self, name):
+        fsm = load_benchmark(name)
+        for kwargs in MAPPER_GRID:
+            default = _map_or_error(fsm, **kwargs)
+            explicit = _map_or_error(fsm, backend="virtex2-bram", **kwargs)
+            assert default == explicit, (name, kwargs)
+
+    @given(spec=spec_strategy())
+    @SETTINGS
+    def test_random_machine_mappings_bit_identical(self, spec):
+        fsm = generate_fsm(spec)
+        assert _map_or_error(fsm) == _map_or_error(fsm, backend="virtex2-bram")
+        assert _map_or_error(fsm, clock_control=True) == \
+            _map_or_error(fsm, clock_control=True, backend="virtex2-bram")
+
+    @pytest.mark.parametrize("name", ["dk14", "keyb"])
+    def test_evaluation_payload_byte_identical(self, name):
+        default = evaluate_benchmark(name, **SMALL)
+        explicit = evaluate_benchmark(name, backend="virtex2-bram", **SMALL)
+        assert (
+            json.dumps(evaluate_payload(default), sort_keys=True)
+            == json.dumps(evaluate_payload(explicit), sort_keys=True)
+        )
+
+    def test_virtex2_power_reports_have_no_static_component(self):
+        result = evaluate_benchmark("dk14", **SMALL)
+        assert "static" not in result.rom_power["100"].components_mw
+
+
+class TestBackendsDiverge:
+    """Distinct backends must never collide in the artifact space."""
+
+    @pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+    def test_reram_mapping_fingerprint_differs(self, name):
+        fsm = load_benchmark(name)
+        assert _map_or_error(fsm) != _map_or_error(fsm, backend="reram-1t1r")
+
+    def test_reram_power_differs_but_ff_side_identical(self):
+        v2 = evaluate_benchmark("dk14", **SMALL)
+        rr = evaluate_benchmark("dk14", backend="reram-1t1r", **SMALL)
+        assert rr.rom_power["100"].total_mw != v2.rom_power["100"].total_mw
+        # The FF baseline does not touch memory blocks: must be untouched.
+        assert rr.ff_power["100"].total_mw == v2.ff_power["100"].total_mw
+        # ReRAM bias current appears as an explicit static component.
+        assert rr.rom_power["100"].components_mw["static"] > 0
+
+
+class TestReramCorrectness:
+    """The second backend is a different fabric, not a different FSM."""
+
+    @pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+    def test_benchmark_traces_match_reference(self, name):
+        fsm = load_benchmark(name)
+        impl = map_fsm_to_rom(fsm, backend="reram-1t1r")
+        stim = random_stimulus(fsm.num_inputs, 150, seed=7)
+        ref = FsmSimulator(fsm).run(stim)
+        trace = impl.run(stim)
+        assert trace.output_stream == ref.outputs
+        assert trace.state_stream == ref.states
+
+    @given(spec=spec_strategy(), seed=st.integers(0, 999))
+    @SETTINGS
+    def test_random_machines_match_reference(self, spec, seed):
+        fsm = generate_fsm(spec)
+        impl = map_fsm_to_rom(fsm, backend="reram-1t1r")
+        stim = random_stimulus(fsm.num_inputs, 120, seed=seed)
+        ref = FsmSimulator(fsm).run(stim)
+        assert impl.run(stim).output_stream == ref.outputs
+
+    @given(spec=spec_strategy(), seed=st.integers(0, 999))
+    @SETTINGS
+    def test_clock_controlled_reram_matches_reference(self, spec, seed):
+        fsm = generate_fsm(spec)
+        impl = map_fsm_to_rom(fsm, clock_control=True, backend="reram-1t1r")
+        stim = random_stimulus(fsm.num_inputs, 120, seed=seed)
+        ref = FsmSimulator(fsm).run(stim)
+        assert impl.run(stim).output_stream == ref.outputs

@@ -172,3 +172,35 @@ class TestClientRoundTrip:
                 else:
                     raise AssertionError("expected ServiceError")
         run_async(body())
+
+    def test_backend_selected_and_unknown_backend_is_400(self, tmp_path):
+        from repro.service.client import ServiceError
+
+        async def body():
+            async with serving(_config(tmp_path)) as server:
+                loop = asyncio.get_running_loop()
+                client = ServiceClient(port=server.port, timeout_s=60.0)
+
+                reply = await loop.run_in_executor(
+                    None,
+                    lambda: client.evaluate(
+                        benchmark="dk14", frequencies_mhz=[100.0],
+                        num_cycles=120, backend="reram-1t1r",
+                    ),
+                )
+                assert reply["ok"] is True
+                assert reply["result"]["rom"]["backend"] == "reram-1t1r"
+
+                try:
+                    await loop.run_in_executor(
+                        None,
+                        lambda: client.evaluate(
+                            benchmark="dk14", backend="nosuch"),
+                    )
+                except ServiceError as exc:
+                    assert exc.status == 400
+                    assert exc.reason == "unknown_backend"
+                    assert "virtex2-bram" in exc.message
+                else:
+                    raise AssertionError("expected ServiceError")
+        run_async(body(), timeout=120.0)

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Compare memory-block backends; write BENCH_backends.json.
+
+Runs the paper's evaluation campaign (Tables 1-3 numbers) once per
+registered technology backend and records, per benchmark: the selected
+aspect ratio and block count, FF/EMB/EMB+cc power at the paper's clock
+rates, the headline savings at 100 MHz, and both implementations' fmax.
+The summary block carries each backend's mean savings — the number the
+ISSUE's acceptance check reads.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_backends.py
+    PYTHONPATH=src python tools/bench_backends.py --cycles 300 --jobs 2
+    PYTHONPATH=src python tools/bench_backends.py --backends reram-1t1r
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.arch.memblock import list_backends, resolve_backend  # noqa: E402
+from repro.bench.suite import PAPER_BENCHMARKS  # noqa: E402
+from repro.flows.flow import (  # noqa: E402
+    PAPER_FREQUENCIES_MHZ,
+    evaluate_many,
+)
+
+
+def bench_backend(name, benchmarks, cycles, seed, idle, jobs):
+    """One backend's full campaign as a JSON-ready dict."""
+    model = resolve_backend(name)
+    results, manifest = evaluate_many(
+        benchmarks,
+        jobs=jobs,
+        cache=False,
+        num_cycles=cycles,
+        seed=seed,
+        idle_fraction=idle,
+        backend=model.name,
+    )
+    per_bench = {}
+    for bench, r in results.items():
+        rom = r.rom_impl
+        per_bench[bench] = {
+            "config": rom.config.name,
+            "blocks": rom.num_brams,
+            "lut_overhead": rom.utilization.luts,
+            "power_mw": {
+                f"{f:g}": {
+                    "ff": round(r.ff_power[f"{f:g}"].total_mw, 6),
+                    "rom": round(r.rom_power[f"{f:g}"].total_mw, 6),
+                    "rom_cc": round(r.rom_cc_power[f"{f:g}"].total_mw, 6),
+                }
+                for f in PAPER_FREQUENCIES_MHZ
+            },
+            "saving_percent": round(r.saving_percent(100.0), 3),
+            "cc_saving_percent": round(r.cc_saving_percent(100.0), 3),
+            "fmax_mhz": {
+                "ff": round(r.ff_timing.fmax_mhz, 3),
+                "rom": round(r.rom_timing.fmax_mhz, 3),
+            },
+        }
+    savings = [b["saving_percent"] for b in per_bench.values()]
+    cc_savings = [b["cc_saving_percent"] for b in per_bench.values()]
+    return {
+        "description": model.description,
+        "volatile": model.volatile,
+        "block_bits": model.block_bits,
+        "max_series": model.max_series,
+        "benchmarks": per_bench,
+        "mean_saving_percent": round(sum(savings) / len(savings), 3),
+        "mean_cc_saving_percent": round(sum(cc_savings) / len(cc_savings), 3),
+        "wall_s": round(manifest.wall_seconds, 6),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backends", nargs="+",
+        default=[m.name for m in list_backends()],
+        help="backend names to compare (default: the whole registry)",
+    )
+    parser.add_argument("--benchmarks", nargs="+",
+                        default=list(PAPER_BENCHMARKS))
+    parser.add_argument("--cycles", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=2004)
+    parser.add_argument("--idle", type=float, default=0.5)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_backends.json"))
+    args = parser.parse_args(argv)
+
+    report = {
+        "workload": {
+            "benchmarks": args.benchmarks,
+            "num_cycles": args.cycles,
+            "seed": args.seed,
+            "idle_fraction": args.idle,
+            "frequencies_mhz": list(PAPER_FREQUENCIES_MHZ),
+            "python": platform.python_version(),
+        },
+        "backends": {
+            name: bench_backend(
+                name, args.benchmarks, args.cycles, args.seed,
+                args.idle, args.jobs,
+            )
+            for name in args.backends
+        },
+    }
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
