@@ -1,0 +1,129 @@
+"""Multi-tenant overlay: many small FSMs sharing one memory block.
+
+Run:  python examples/multi_tenant_overlay.py
+
+The paper maps ONE machine per embedded memory block, but its own
+Table 1 shows most controllers filling only a corner of the 18-Kbit
+block.  This example packs a set of controllers into a shared block
+inventory (their regions are aligned slices, physical address =
+region_base | tenant_address), services them round-robin, and then
+hot-swaps one tenant in place — the §4.2 engineering-change path,
+without touching its neighbours.
+"""
+
+from repro import load_benchmark, map_fsm_to_rom
+from repro.fsm.machine import FSM
+from repro.fsm.simulate import derive_stream_seed, random_stimulus
+from repro.overlay import build_overlay_report, pack_overlay, run_overlay
+
+# Inputs : in0 = nickel inserted, in1 = dime inserted
+# Outputs: out0 = dispense, out1 = refund excess
+IDLE, N5, N10, N15 = "Idle", "C5", "C10", "C15"
+
+
+def vending_v1() -> FSM:
+    """A deployed vending controller: item costs 20 cents."""
+    fsm = FSM("vendor", 2, 2, [IDLE, N5, N10, N15], IDLE)
+    fsm.add(IDLE, "00", IDLE, "00")
+    fsm.add(IDLE, "10", N5, "00")
+    fsm.add(IDLE, "01", N10, "00")
+    fsm.add(IDLE, "11", N15, "00")
+    fsm.add(N5, "00", N5, "00")
+    fsm.add(N5, "10", N10, "00")
+    fsm.add(N5, "01", N15, "00")
+    fsm.add(N5, "11", IDLE, "10")
+    fsm.add(N10, "00", N10, "00")
+    fsm.add(N10, "10", N15, "00")
+    fsm.add(N10, "01", IDLE, "10")
+    fsm.add(N10, "11", IDLE, "11")
+    fsm.add(N15, "00", N15, "00")
+    fsm.add(N15, "10", IDLE, "10")
+    fsm.add(N15, "01", IDLE, "11")
+    fsm.add(N15, "11", IDLE, "11")
+    return fsm
+
+
+def vending_v2() -> FSM:
+    """The in-field ECO: price drops to 15 cents."""
+    fsm = FSM("vendor", 2, 2, [IDLE, N5, N10, N15], IDLE)
+    fsm.add(IDLE, "00", IDLE, "00")
+    fsm.add(IDLE, "10", N5, "00")
+    fsm.add(IDLE, "01", N10, "00")
+    fsm.add(IDLE, "11", IDLE, "10")
+    fsm.add(N5, "00", N5, "00")
+    fsm.add(N5, "10", N10, "00")
+    fsm.add(N5, "01", IDLE, "10")
+    fsm.add(N5, "11", IDLE, "11")
+    fsm.add(N10, "00", N10, "00")
+    fsm.add(N10, "10", IDLE, "10")
+    fsm.add(N10, "01", IDLE, "11")
+    fsm.add(N10, "11", IDLE, "11")
+    fsm.add(N15, "--", IDLE, "00")
+    return fsm
+
+
+def main() -> None:
+    # --- pack: three paper benchmarks plus the vending controller ----
+    tenants = [load_benchmark("dk14"), load_benchmark("donfile"),
+               vending_v1(), load_benchmark("keyb")]
+    overlay = pack_overlay(tenants)
+    print(f"Packed {overlay.num_tenants} FSMs into {overlay.num_blocks} "
+          f"physical block(s); standalone they need "
+          f"{overlay.separate_blocks}.")
+    for name, p in overlay.tenants.items():
+        where = "exclusive group" if p.exclusive else (
+            f"block {p.block} @ word {p.region_base}")
+        print(f"  {name:<8} {p.depth:>5}x{p.width:<2} words  -> {where}")
+
+    # --- run: round-robin time multiplexing ---------------------------
+    stimuli = {
+        fsm.name: random_stimulus(
+            fsm.num_inputs, 2000, derive_stream_seed(42, fsm.name))
+        for fsm in tenants
+    }
+    run = run_overlay(overlay, stimuli)
+    print(f"\nReplayed {run.global_cycles} global cycles "
+          f"({run.stride} slots/round); every enabled read was "
+          f"cross-checked against the shared words.")
+
+    # Each tenant's trace is bit-identical to a standalone mapping.
+    for fsm in tenants:
+        standalone = map_fsm_to_rom(fsm).run(list(stimuli[fsm.name]))
+        assert run.traces[fsm.name].output_stream == standalone.output_stream
+        assert run.traces[fsm.name].state_stream == standalone.state_stream
+    print("Per-tenant traces verified bit-identical to standalone runs.")
+
+    # --- hot swap: rewrite ONE tenant, neighbours untouched -----------
+    neighbours = [n for n in overlay.tenants if n != "vendor"]
+    before = {n: overlay.region_words(n) for n in neighbours}
+    overlay.rewrite_tenant("vendor", vending_v2())
+    assert all(overlay.region_words(n) == before[n] for n in neighbours)
+    after = run_overlay(overlay, stimuli)
+    for n in neighbours:
+        assert after.traces[n].output_stream == run.traces[n].output_stream
+    fresh_v2 = map_fsm_to_rom(vending_v2())
+    assert (after.traces["vendor"].output_stream
+            == fresh_v2.run(list(stimuli["vendor"])).output_stream)
+    print("\nHot-swapped 'vendor' v1 -> v2 in place: its region now "
+          "matches a fresh v2 mapping, every neighbour byte-identical.")
+
+    # --- the power/area ledger ----------------------------------------
+    report = build_overlay_report(
+        ["dk14", "donfile", "keyb", "styr"], frequencies_mhz=(100.0,),
+        num_cycles=2000,
+    )
+    ovl_nj, sep_nj = report.energy_per_transition_nj(100.0)
+    print(f"\nLedger for 4 paper benchmarks @ 100 MHz:")
+    print(f"  blocks   : {report.overlay_blocks} overlay vs "
+          f"{report.separate_blocks} separate "
+          f"({report.block_saving_percent:.0f}% fewer)")
+    print(f"  power    : {report.overlay_mw(100.0):.2f} mW overlay vs "
+          f"{report.separate_mw['100']:.2f} mW separate "
+          f"({report.saving_percent(100.0):.1f}% lower)")
+    print(f"  nJ/txn   : {ovl_nj:.4f} overlay vs {sep_nj:.4f} separate")
+    print("  (the overlay serves 1 tenant transition per cycle vs N "
+          "for separate machines — nJ/transition is the honest metric)")
+
+
+if __name__ == "__main__":
+    main()

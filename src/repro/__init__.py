@@ -22,6 +22,7 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.romfsm` — the paper's ROM mapping (core contribution)
 - :mod:`repro.power`  — XPower-style activity-based power estimation
 - :mod:`repro.bench`  — statistics-matched MCNC/PREP benchmark set
+- :mod:`repro.overlay` — multi-FSM packing into shared memory blocks
 - :mod:`repro.flows`  — end-to-end experiments and the paper's tables
 """
 
@@ -54,6 +55,12 @@ from repro.power import (
 )
 from repro.flows import evaluate_benchmark, table1, table2, table3, table4
 from repro.bench import PAPER_BENCHMARKS, load_benchmark
+from repro.overlay import (
+    OverlayError,
+    pack_overlay,
+    run_overlay,
+    build_overlay_report,
+)
 
 __version__ = "1.0.0"
 
@@ -88,5 +95,9 @@ __all__ = [
     "table4",
     "PAPER_BENCHMARKS",
     "load_benchmark",
+    "OverlayError",
+    "pack_overlay",
+    "run_overlay",
+    "build_overlay_report",
     "__version__",
 ]

@@ -171,6 +171,43 @@ class MemoryBlockModel:
             )
         return config
 
+    def validate_region(
+        self, config: BramConfig, base: int, depth: int, width: int
+    ) -> None:
+        """Check a tenant region of a shared block (overlay packing).
+
+        A region is ``depth`` consecutive words of ``width`` bits placed
+        at word offset ``base`` inside one block configured as
+        ``config``.  The base must be aligned to the region depth so the
+        tenant's address bits occupy the low address lines and the
+        region-select bits the high ones — the overlay then forms a
+        physical address by OR-ing the base onto the tenant address.
+        """
+        if config not in self.configs:
+            raise ValueError(
+                f"{self.name}: {config.name} is not an offered aspect ratio"
+            )
+        if depth <= 0 or depth & (depth - 1):
+            raise ValueError(
+                f"{self.name}: region depth {depth} must be a positive "
+                f"power of two"
+            )
+        if width <= 0 or width > config.width:
+            raise ValueError(
+                f"{self.name}: region width {width} does not fit the "
+                f"{config.width}-bit data port"
+            )
+        if base % depth:
+            raise ValueError(
+                f"{self.name}: region base {base} is not aligned to its "
+                f"depth {depth}"
+            )
+        if base + depth > config.depth:
+            raise ValueError(
+                f"{self.name}: region [{base}, {base + depth}) overruns "
+                f"the {config.depth}-word block"
+            )
+
     def series_for(self, addr_bits: int) -> Tuple[int, int]:
         """``(series_blocks, lane_addr_bits)`` for an address demand.
 

@@ -7,6 +7,8 @@ Subcommands mirror the paper's artifacts::
     romfsm map FILE.kiss2|BENCH [--clock-control] [--backend NAME]
                   [--vhdl OUT.vhd]
     romfsm eval FILE.kiss2|BENCH [--freq MHZ ...] [--backend NAME]
+    romfsm overlay FSM FSM ... [--max-blocks N] [--backend NAME]
+                  [--json OUT.json]                 # multi-tenant packing
     romfsm serve [--port P] [--jobs N] [--max-queue Q] [--timeout S]
     romfsm submit FILE.kiss2|--benchmark NAME [--port P]
     romfsm backends                                     # backend registry
@@ -391,6 +393,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_backends(_args: argparse.Namespace) -> int:
+    from repro.power.params import VIRTEX2_PARAMS
+
     rows = []
     for model in list_backends():
         ratios = " ".join(c.name for c in model.configs)
@@ -407,9 +411,103 @@ def _cmd_backends(_args: argparse.Namespace) -> int:
          "non-volatile", "clk-to-out (ns)"],
         rows,
     ))
-    print()
     for model in list_backends():
-        print(f"{model.name}: {model.description}")
+        print(f"\n{model.name}: {model.description}")
+        # Energy per clock edge at each aspect ratio's full geometry,
+        # under the default Virtex-II calibration — the numbers the
+        # estimator's bram component is built from.
+        energy_rows = []
+        for config in model.configs:
+            enabled = model.edge_energy_pj(
+                config.addr_bits, config.width, True, VIRTEX2_PARAMS
+            )
+            idle = model.edge_energy_pj(
+                config.addr_bits, config.width, False, VIRTEX2_PARAMS
+            )
+            energy_rows.append([
+                config.name, config.depth, config.width,
+                config.addr_bits, f"{enabled:.2f}", f"{idle:.2f}",
+            ])
+        print(format_table(
+            ["config", "depth", "width", "addr bits",
+             "read edge (pJ)", "idle edge (pJ)"],
+            energy_rows,
+        ))
+        print(f"  timing : clk-to-out {model.clk_to_out_ns:.2f} ns, "
+              f"addr setup {model.addr_setup_ns:.2f} ns, "
+              f"en setup {model.en_setup_ns:.2f} ns, "
+              f"cascade hop {model.cascade_hop_ns:.2f} ns")
+        print(f"  loads  : cascade {model.cascade_cap_pf(VIRTEX2_PARAMS):.2f} pF, "
+              f"clock branch {model.clock_load_pf(VIRTEX2_PARAMS):.2f} pF/block")
+        if model.static_mw_per_block:
+            print(f"  static : {model.static_mw_per_block * 1e3:.1f} µW/block")
+    return 0
+
+
+def _cmd_overlay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.overlay import build_overlay_report
+
+    if len(args.fsms) < 2:
+        raise CliError("an overlay needs at least two FSMs")
+    fsms = [_load_fsm_arg(arg) for arg in args.fsms]
+    names = [f.name for f in fsms]
+    if len(set(names)) != len(names):
+        raise CliError(f"duplicate tenant names: {sorted(names)}")
+    try:
+        report = build_overlay_report(
+            fsms,
+            backend=_resolve_backend_arg(args),
+            frequencies_mhz=args.freq,
+            num_cycles=args.cycles,
+            seed=args.seed,
+            idle_fraction=args.idle,
+            max_blocks=args.max_blocks,
+            clock_control=args.clock_control,
+        )
+    except FsmError as exc:
+        raise CliError(str(exc))
+
+    print(f"overlay: {report.num_tenants} tenants on "
+          f"{report.overlay_blocks} block(s) "
+          f"(separate: {report.separate_blocks}, "
+          f"{report.block_saving_percent:.0f}% fewer) "
+          f"[{report.backend}]")
+    rows = [
+        [t.name, t.standalone_blocks, t.block,
+         "exclusive" if t.exclusive else f"base {t.region_base}",
+         f"{t.depth}x{t.width}"]
+        for t in report.tenants
+    ]
+    print(format_table(
+        ["tenant", "own blocks", "block", "region", "shape"], rows
+    ))
+    print()
+    rows = []
+    for f in args.freq:
+        ovl_nj, sep_nj = report.energy_per_transition_nj(f)
+        rows.append([
+            f"{f:g} MHz",
+            f"{report.overlay_mw(f):.2f}",
+            f"{report.separate_mw[f'{f:g}']:.2f}",
+            f"{report.saving_percent(f):.1f}%",
+            f"{ovl_nj:.4f}",
+            f"{sep_nj:.4f}",
+        ])
+    print(format_table(
+        ["frequency", "overlay (mW)", "separate (mW)", "saving",
+         "nJ/txn ovl", "nJ/txn sep"],
+        rows,
+    ))
+    print("\nnote: the overlay services 1 tenant transition per global "
+          "cycle vs N for separate machines; nJ/transition is the "
+          "throughput-honest comparison.")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -549,6 +647,29 @@ def build_parser() -> argparse.ArgumentParser:
         "backends", help="list the registered memory-block backends"
     )
     p.set_defaults(func=_cmd_backends)
+
+    p = sub.add_parser(
+        "overlay",
+        help="pack several FSMs into a shared memory-block overlay and "
+             "compare its power/area against separate mappings",
+    )
+    p.add_argument("fsms", nargs="+", metavar="FSM",
+                   help="two or more .kiss2 files or benchmark names")
+    p.add_argument("--freq", type=float, nargs="+",
+                   default=list(PAPER_FREQUENCIES_MHZ))
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=2004)
+    p.add_argument("--idle", type=float, default=None,
+                   help="idle-biased stimulus fraction (default: uniform "
+                        "random; pair with --clock-control)")
+    p.add_argument("--clock-control", action="store_true")
+    p.add_argument("--max-blocks", type=int, default=None, metavar="N",
+                   help="physical block budget; packing beyond it is a "
+                        "one-line error")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the full report as JSON")
+    _add_backend_option(p)
+    p.set_defaults(func=_cmd_overlay)
 
     p = sub.add_parser("bench-stats", help="print benchmark STG statistics")
     p.set_defaults(func=_cmd_bench_stats)

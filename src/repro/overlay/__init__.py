@@ -1,0 +1,47 @@
+"""Multi-tenant FSM overlay: many machines sharing one block inventory.
+
+The paper's core move — an FSM *is* memory contents — composes: if one
+machine is a ROM image, N machines are N images, and nothing stops them
+from sharing physical blocks as long as each image gets its own aligned
+region (the generalization Wilson & Stitt's FSM overlay makes,
+arXiv:1705.02732).  This package packs a set of mapped FSMs into a
+shared memory-block budget (:mod:`repro.overlay.packing`), replays all
+tenants time-multiplexed through the word-parallel simulator with idle
+tenants clock-gated (:mod:`repro.overlay.replay`), and accounts the
+power/area of N-on-one-overlay against N separate mappings
+(:mod:`repro.overlay.report`).
+
+Partial reconfiguration falls out of the paper's §4.2 ECO path: swapping
+one tenant is an in-place rewrite of that tenant's region — neighbours'
+words and traces are untouched (:meth:`Overlay.rewrite_tenant`).
+"""
+
+from repro.overlay.packing import (
+    Overlay,
+    OverlayBlock,
+    OverlayError,
+    TenantPlacement,
+    pack_overlay,
+)
+from repro.overlay.replay import BlockPortStats, OverlayRun, run_overlay
+from repro.overlay.report import (
+    OverlayReport,
+    TenantReport,
+    build_overlay_report,
+    estimate_overlay_power,
+)
+
+__all__ = [
+    "Overlay",
+    "OverlayBlock",
+    "OverlayError",
+    "TenantPlacement",
+    "pack_overlay",
+    "BlockPortStats",
+    "OverlayRun",
+    "run_overlay",
+    "OverlayReport",
+    "TenantReport",
+    "build_overlay_report",
+    "estimate_overlay_power",
+]

@@ -1,0 +1,300 @@
+"""Bin-packing tenant ROM images into a shared memory-block inventory.
+
+Each tenant is first mapped on its own by :func:`~repro.romfsm.mapper.
+map_fsm_to_rom` — the paper's Fig. 5 algorithm decides its layout,
+aspect ratio and block count exactly as for a standalone machine.  The
+overlay then distinguishes two cases:
+
+* a **single-block tenant** (``num_brams == 1``) occupies one aligned
+  region of a *shared* block: ``layout.depth`` consecutive words at a
+  base that is a multiple of the depth, so the physical address is
+  simply ``region_base | tenant_address`` and the high address lines
+  act as the region select.  Tenants are placed first-fit-decreasing by
+  depth into blocks of the deepest aspect ratio wide enough for their
+  word — power-of-two region sizes in decreasing order keep every base
+  aligned for free.
+* a **multi-block tenant** keeps the exclusive parallel/series block
+  group its mapping requires; the overlay records it as one logical
+  block backed by ``num_brams`` physical blocks.
+
+Legality of every region is checked against the backend's
+:meth:`~repro.arch.memblock.MemoryBlockModel.validate_region` rule, and
+the whole overlay can be audited with :meth:`Overlay.verify`: each
+tenant's region slice must equal its standalone ROM image bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.arch.bram import BramConfig
+from repro.arch.memblock import MemoryBlockModel, resolve_backend
+from repro.fsm.machine import FSM, FsmError
+from repro.romfsm.impl import RomFsmImplementation
+from repro.romfsm.mapper import map_fsm_to_rom
+
+__all__ = [
+    "OverlayError",
+    "TenantPlacement",
+    "OverlayBlock",
+    "Overlay",
+    "pack_overlay",
+]
+
+
+class OverlayError(FsmError):
+    """Packing, budget or verification failure of a multi-FSM overlay."""
+
+
+@dataclass
+class TenantPlacement:
+    """Where one tenant FSM lives inside the overlay."""
+
+    name: str
+    impl: RomFsmImplementation
+    block: int
+    region_base: int
+    exclusive: bool
+
+    @property
+    def depth(self) -> int:
+        return self.impl.layout.depth
+
+    @property
+    def width(self) -> int:
+        return max(1, self.impl.layout.data_bits)
+
+
+@dataclass
+class OverlayBlock:
+    """One logical block of the overlay inventory.
+
+    A shared block is a single physical block holding several tenant
+    regions; an exclusive block is the parallel/series group of a
+    multi-block tenant, kept as one logical port backed by
+    ``physical_blocks`` physical blocks (its ``words`` are the tenant's
+    logical contents across the group).
+    """
+
+    index: int
+    config: BramConfig
+    words: List[int]
+    tenants: List[str] = field(default_factory=list)
+    words_used: int = 0
+    exclusive: bool = False
+    physical_blocks: int = 1
+
+    @property
+    def utilization(self) -> float:
+        return self.words_used / max(1, len(self.words))
+
+
+@dataclass
+class Overlay:
+    """A packed set of tenant FSMs over a shared block inventory."""
+
+    backend: MemoryBlockModel
+    tenants: Dict[str, TenantPlacement]
+    blocks: List[OverlayBlock]
+
+    @property
+    def num_tenants(self) -> int:
+        return len(self.tenants)
+
+    @property
+    def num_blocks(self) -> int:
+        """Physical blocks consumed by the whole overlay."""
+        return sum(b.physical_blocks for b in self.blocks)
+
+    @property
+    def separate_blocks(self) -> int:
+        """Physical blocks N standalone mappings would consume."""
+        return sum(p.impl.num_brams for p in self.tenants.values())
+
+    @property
+    def select_bits(self) -> int:
+        """Width of the round-robin tenant-select counter."""
+        return max(1, (self.num_tenants - 1).bit_length())
+
+    def placement(self, name: str) -> TenantPlacement:
+        try:
+            return self.tenants[name]
+        except KeyError:
+            raise OverlayError(f"no tenant named {name!r}") from None
+
+    def block_of(self, name: str) -> OverlayBlock:
+        return self.blocks[self.placement(name).block]
+
+    def region_words(self, name: str) -> List[int]:
+        """The physical words of one tenant's region (a copy)."""
+        p = self.placement(name)
+        block = self.blocks[p.block]
+        if p.exclusive:
+            return list(block.words)
+        return block.words[p.region_base : p.region_base + p.depth]
+
+    def verify(self) -> None:
+        """Audit every region against its tenant's standalone ROM image.
+
+        Raises :class:`OverlayError` on the first mismatch; an overlay
+        that verifies replays each tenant bit-identically to its
+        standalone implementation (the words read through the shared
+        port are, by construction, the words the standalone block would
+        have returned).
+        """
+        for name, p in self.tenants.items():
+            if self.region_words(name) != p.impl.contents:
+                raise OverlayError(
+                    f"tenant {name!r}: region words diverge from the "
+                    f"standalone ROM image"
+                )
+            if not p.exclusive:
+                self.backend.validate_region(
+                    self.blocks[p.block].config, p.region_base, p.depth,
+                    p.width,
+                )
+
+    def rewrite_tenant(self, name: str, new_fsm: FSM) -> TenantPlacement:
+        """Hot-swap one tenant by rewriting its region in place.
+
+        This is the paper's §4.2 engineering-change path lifted to the
+        overlay: the guards of
+        :meth:`~repro.romfsm.impl.RomFsmImplementation.rewrite_contents`
+        apply unchanged (fixed interface, state set and reset; no
+        fabric-baked Moore outputs or clock control), and only this
+        tenant's words change — every neighbour's region is untouched,
+        byte for byte.
+        """
+        p = self.placement(name)
+        p.impl.rewrite_contents(new_fsm)  # validates before mutating
+        block = self.blocks[p.block]
+        if p.exclusive:
+            block.words = list(p.impl.contents)
+        else:
+            block.words[p.region_base : p.region_base + p.depth] = (
+                p.impl.contents
+            )
+        return p
+
+
+def _deepest_config(
+    backend: MemoryBlockModel, width: int
+) -> Optional[BramConfig]:
+    """Deepest aspect ratio whose data port fits ``width`` bits."""
+    candidates = [c for c in backend.configs if c.width >= width]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda c: c.depth)
+
+
+def pack_overlay(
+    fsms: Sequence[Union[FSM, Tuple[str, FSM]]],
+    backend: Union[None, str, MemoryBlockModel] = None,
+    max_blocks: Optional[int] = None,
+    **mapper_kwargs,
+) -> Overlay:
+    """Map every FSM and pack the images into a shared block inventory.
+
+    ``fsms`` lists the tenant machines (optionally as ``(name, fsm)``
+    pairs; bare machines use ``fsm.name``).  ``mapper_kwargs`` are
+    forwarded to :func:`~repro.romfsm.mapper.map_fsm_to_rom` for every
+    tenant (e.g. ``clock_control=True`` to gate idle tenants).
+    ``max_blocks`` caps the physical block budget; exceeding it raises
+    :class:`OverlayError` stating demand versus budget.
+    """
+    model = resolve_backend(backend)
+    named: List[Tuple[str, FSM]] = []
+    for entry in fsms:
+        name, fsm = entry if isinstance(entry, tuple) else (entry.name, entry)
+        named.append((name, fsm))
+    if not named:
+        raise OverlayError("an overlay needs at least one tenant FSM")
+    seen = set()
+    for name, _ in named:
+        if name in seen:
+            raise OverlayError(f"duplicate tenant name {name!r}")
+        seen.add(name)
+
+    impls: Dict[str, RomFsmImplementation] = {
+        name: map_fsm_to_rom(fsm, backend=model, **mapper_kwargs)
+        for name, fsm in named
+    }
+
+    shared = [n for n, i in impls.items() if i.num_brams == 1]
+    exclusive = [n for n, i in impls.items() if i.num_brams > 1]
+    # First-fit-decreasing by region depth; name breaks ties so the
+    # placement is deterministic for any input order.
+    shared.sort(key=lambda n: (-impls[n].layout.depth, n))
+
+    blocks: List[OverlayBlock] = []
+    placements: Dict[str, TenantPlacement] = {}
+    # Open shared bins per aspect ratio: (block index, next free word).
+    open_bins: Dict[BramConfig, List[int]] = {}
+
+    for name in shared:
+        impl = impls[name]
+        depth = impl.layout.depth
+        width = max(1, impl.layout.data_bits)
+        config = _deepest_config(model, width)
+        if config is None or config.depth < depth:
+            # No deeper ratio can host a second tenant next to this one;
+            # fall back to the tenant's own standalone configuration.
+            config = impl.config
+        placed = False
+        for bin_ref in open_bins.get(config, []):
+            block = blocks[bin_ref]
+            base = block.words_used
+            if base % depth:  # keep the base aligned to the region
+                base += depth - base % depth
+            if base + depth <= config.depth:
+                model.validate_region(config, base, depth, width)
+                block.words[base : base + depth] = impl.contents
+                block.words_used = base + depth
+                block.tenants.append(name)
+                placements[name] = TenantPlacement(
+                    name=name, impl=impl, block=block.index,
+                    region_base=base, exclusive=False,
+                )
+                placed = True
+                break
+        if not placed:
+            model.validate_region(config, 0, depth, width)
+            block = OverlayBlock(
+                index=len(blocks), config=config,
+                words=[0] * config.depth,
+            )
+            block.words[0:depth] = impl.contents
+            block.words_used = depth
+            block.tenants.append(name)
+            blocks.append(block)
+            open_bins.setdefault(config, []).append(block.index)
+            placements[name] = TenantPlacement(
+                name=name, impl=impl, block=block.index,
+                region_base=0, exclusive=False,
+            )
+
+    for name in sorted(exclusive):
+        impl = impls[name]
+        block = OverlayBlock(
+            index=len(blocks), config=impl.config,
+            words=list(impl.contents),
+            tenants=[name], words_used=impl.layout.depth,
+            exclusive=True, physical_blocks=impl.num_brams,
+        )
+        blocks.append(block)
+        placements[name] = TenantPlacement(
+            name=name, impl=impl, block=block.index,
+            region_base=0, exclusive=True,
+        )
+
+    # Restore the caller's tenant order (it defines the replay schedule).
+    ordered = {name: placements[name] for name, _ in named}
+    overlay = Overlay(backend=model, tenants=ordered, blocks=blocks)
+    if max_blocks is not None and overlay.num_blocks > max_blocks:
+        raise OverlayError(
+            f"overlay needs {overlay.num_blocks} physical blocks, "
+            f"budget is {max_blocks}"
+        )
+    overlay.verify()
+    return overlay

@@ -1,0 +1,405 @@
+"""Power/area accounting: N FSMs on one overlay vs N separate mappings.
+
+:func:`estimate_overlay_power` prices the time-multiplexed overlay with
+the same XPower equation and the same backend energy callbacks as
+:func:`repro.power.estimator.estimate_rom_power` prices a standalone
+machine, so the comparison is apples to apples:
+
+* **bram** — per logical block, the enabled/idle edge-energy split at
+  the block's *global* enable duty (one tenant slot per global cycle;
+  every other slot is an idle edge for that block);
+* **clock** — one shared trunk, a branch per physical block, plus the
+  clock pins of each tenant's context register (state + latched
+  outputs survive between slots) and the round-robin select counter;
+* **interconnect/logic** — the per-tenant auxiliary LUT networks (input
+  mux, Moore outputs, §6 enable logic) switch only in their own slots,
+  so their standalone toggle counts are rescaled to the global cycle
+  count; block port nets (address, data out, enable) use the physical
+  toggle counts measured by the replay;
+* **static** — per physical block, so the overlay's smaller inventory
+  directly shrinks the leakage/bias floor on backends that have one.
+
+The honest caveat, stated on the report: the overlay services one
+tenant transition per global cycle where N separate machines service N,
+so at equal clock rate overlay throughput per tenant is 1/N.  The
+report therefore quotes energy per serviced transition alongside raw
+power — the figure of merit that survives the throughput difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.arch.device import Device, Utilization, get_device
+from repro.arch.memblock import MemoryBlockModel
+from repro.bench.suite import load_benchmark
+from repro.fsm.machine import FSM
+from repro.fsm.simulate import (
+    derive_stream_seed,
+    idle_biased_stimulus,
+    random_stimulus,
+)
+from repro.overlay.packing import Overlay, pack_overlay
+from repro.overlay.replay import OverlayRun, run_overlay
+from repro.power.activity import NetActivity, extract_rom_activity
+from repro.power.estimator import (
+    PowerReport,
+    _interconnect_mw,
+    _logic_mw,
+    estimate_rom_power,
+)
+from repro.power.params import PowerParams, VIRTEX2_PARAMS
+
+__all__ = [
+    "TenantReport",
+    "OverlayReport",
+    "estimate_overlay_power",
+    "build_overlay_report",
+]
+
+# The three clock rates of the paper's Tables 2 and 3 (kept local to
+# avoid a circular import with repro.flows).
+_PAPER_FREQUENCIES_MHZ: Tuple[float, ...] = (50.0, 85.0, 100.0)
+
+
+def _shared_geometry(block, overlay: Overlay) -> Tuple[int, int]:
+    """(addr bits exercised, data bits exercised) of a shared block."""
+    addr_bits = max(1, (max(1, block.words_used) - 1).bit_length())
+    width = max(
+        overlay.tenants[name].width for name in block.tenants
+    )
+    return min(addr_bits, block.config.addr_bits), width
+
+
+def estimate_overlay_power(
+    run: OverlayRun,
+    frequency_mhz: float,
+    device: Optional[Device] = None,
+    params: PowerParams = VIRTEX2_PARAMS,
+) -> PowerReport:
+    """Power of the whole overlay at ``frequency_mhz`` (the global clock)."""
+    overlay = run.overlay
+    backend: MemoryBlockModel = overlay.backend
+    device = device or get_device()
+    cycles = max(run.global_cycles, 1)
+
+    # Fabric utilization for the congestion model: all tenants' LUTs.
+    total_luts = sum(p.impl.num_luts for p in overlay.tenants.values())
+    total_ffs = sum(
+        max(1, p.impl.layout.data_bits) for p in overlay.tenants.values()
+    )
+    utilization = device.slice_utilization(
+        Utilization(luts=total_luts, ffs=total_ffs,
+                    brams=overlay.num_blocks)
+    )
+
+    nets: List[NetActivity] = []
+    lut_activity: Dict[str, float] = {}
+    io = 0.0
+
+    # Per-tenant networks, rescaled: a tenant's nets switch only during
+    # its own slots, so toggles-per-global-cycle = standalone toggles
+    # over the global cycle count.
+    for name, placement in overlay.tenants.items():
+        impl = placement.impl
+        trace = run.traces[name]
+        activity = extract_rom_activity(impl, trace)
+        scale = trace.num_cycles / cycles
+        for net in activity.nets:
+            if net.dedicated or net.name.startswith("q"):
+                continue  # block-level ports are accounted below
+            nets.append(NetActivity(
+                name=f"{name}:{net.name}", fanout=net.fanout,
+                toggles_per_cycle=net.toggles_per_cycle * scale,
+            ))
+        for lut_name, alpha in activity.lut_output_activity.items():
+            lut_activity[f"{name}:{lut_name}"] = alpha * scale
+        io += activity.io_activity * scale
+
+    # Block port nets, from the physical toggle counts of the replay.
+    for block, stats in zip(overlay.blocks, run.block_stats):
+        nets.append(NetActivity(
+            name=f"blk{block.index}:addr", fanout=1,
+            toggles_per_cycle=stats.addr_toggles / cycles,
+        ))
+        nets.append(NetActivity(
+            name=f"blk{block.index}:q", fanout=max(1, len(block.tenants)),
+            toggles_per_cycle=stats.q_toggles / cycles,
+        ))
+        nets.append(NetActivity(
+            name=f"blk{block.index}:en", fanout=1,
+            toggles_per_cycle=stats.en_toggles / cycles,
+        ))
+        if block.exclusive:
+            impl = overlay.tenants[block.tenants[0]].impl
+            for hop in range(impl.series_brams - 1):
+                nets.append(NetActivity(
+                    name=f"blk{block.index}:cascade{hop}", fanout=1,
+                    toggles_per_cycle=stats.enable_duty, dedicated=True,
+                ))
+
+    # The round-robin select counter: bit i of an up-counter toggles
+    # every 2^i global cycles; it fans out to every block's slot decode.
+    for b in range(overlay.select_bits):
+        nets.append(NetActivity(
+            name=f"select{b}", fanout=max(1, len(overlay.blocks)),
+            toggles_per_cycle=2.0 ** -b,
+        ))
+
+    interconnect = _interconnect_mw(
+        nets, params, frequency_mhz, utilization,
+        cascade_cap_pf=backend.cascade_cap_pf(params),
+    )
+    logic = _logic_mw(lut_activity, params, frequency_mhz)
+    io_mw = params.power_mw(
+        params.energy_pj(params.c_io_pad_pf, io), frequency_mhz
+    )
+
+    # Memory blocks: enabled/idle edge split at each block's global duty.
+    bram_energy = 0.0
+    for block, stats in zip(overlay.blocks, run.block_stats):
+        if block.exclusive:
+            impl = overlay.tenants[block.tenants[0]].impl
+            addr_bits = min(impl.layout.addr_bits, block.config.addr_bits)
+            data_bits = -(-max(1, impl.layout.data_bits)
+                          // impl.parallel_brams)
+        else:
+            addr_bits, data_bits = _shared_geometry(block, overlay)
+        duty = stats.enable_duty
+        per_edge = backend.edge_energy_pj(addr_bits, data_bits, True, params)
+        idle_edge = backend.edge_energy_pj(addr_bits, data_bits, False, params)
+        bram_energy += block.physical_blocks * (
+            duty * per_edge + (1.0 - duty) * idle_edge
+        )
+    bram = params.power_mw(bram_energy, frequency_mhz)
+
+    # Clock: one trunk, a branch per physical block, and the clock pins
+    # of the context registers plus the select counter.
+    clock_cap = (
+        params.c_clock_tree_base_pf
+        + backend.clock_load_pf(params) * overlay.num_blocks
+        + params.c_ff_clk_pf * (total_ffs + overlay.select_bits)
+    )
+    clock = params.power_mw(params.energy_pj(clock_cap, 2.0), frequency_mhz)
+
+    components = {
+        "interconnect": interconnect,
+        "logic": logic,
+        "clock": clock,
+        "bram": bram,
+        "io": io_mw,
+    }
+    static = backend.static_power_mw(overlay.num_blocks)
+    if static:
+        components["static"] = static
+    return PowerReport(
+        label=f"overlay[{overlay.num_tenants}]/{backend.name}",
+        frequency_mhz=frequency_mhz,
+        components_mw=components,
+    )
+
+
+@dataclass
+class TenantReport:
+    """One tenant's placement and standalone baseline numbers."""
+
+    name: str
+    standalone_blocks: int
+    block: int
+    region_base: int
+    exclusive: bool
+    depth: int
+    width: int
+    num_cycles: int
+    # Standalone total power per frequency, keyed "{freq:g}".
+    standalone_mw: Dict[str, float]
+
+
+@dataclass
+class OverlayReport:
+    """The N-on-one-overlay vs N-separate comparison."""
+
+    backend: str
+    num_tenants: int
+    overlay_blocks: int
+    separate_blocks: int
+    tenants: List[TenantReport]
+    overlay_power: Dict[str, PowerReport]
+    separate_mw: Dict[str, float]
+    run: OverlayRun
+
+    def overlay_mw(self, frequency_mhz: float = 100.0) -> float:
+        return self.overlay_power[f"{frequency_mhz:g}"].total_mw
+
+    def saving_percent(self, frequency_mhz: float = 100.0) -> float:
+        """Power saving of the overlay vs N separate machines (%)."""
+        key = f"{frequency_mhz:g}"
+        separate = self.separate_mw[key]
+        if separate == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.overlay_power[key].total_mw / separate)
+
+    @property
+    def block_saving_percent(self) -> float:
+        """Physical-block (area) saving of the overlay (%)."""
+        if self.separate_blocks == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.overlay_blocks / self.separate_blocks)
+
+    def energy_per_transition_nj(
+        self, frequency_mhz: float = 100.0
+    ) -> Tuple[float, float]:
+        """(overlay, separate) energy per serviced transition, nJ.
+
+        The throughput-honest figure: the overlay services one tenant
+        transition per global cycle, N separate machines service N per
+        cycle, so raw mW alone would flatter the overlay.
+        """
+        key = f"{frequency_mhz:g}"
+        occupancy = self.run.serviced_transitions / max(
+            1, self.run.global_cycles
+        )
+        overlay = self.overlay_power[key].total_mw / (
+            frequency_mhz * max(occupancy, 1e-12)
+        )
+        separate = self.separate_mw[key] / (
+            frequency_mhz * self.num_tenants
+        )
+        return overlay, separate
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-friendly form for the CLI table and the bench tool."""
+        frequencies = sorted(
+            self.overlay_power, key=lambda k: float(k)
+        )
+        return {
+            "backend": self.backend,
+            "num_tenants": self.num_tenants,
+            "overlay_blocks": self.overlay_blocks,
+            "separate_blocks": self.separate_blocks,
+            "block_saving_percent": round(self.block_saving_percent, 2),
+            "tenants": [
+                {
+                    "name": t.name,
+                    "standalone_blocks": t.standalone_blocks,
+                    "block": t.block,
+                    "region_base": t.region_base,
+                    "exclusive": t.exclusive,
+                    "depth": t.depth,
+                    "width": t.width,
+                    "standalone_mw": {
+                        k: round(v, 4) for k, v in t.standalone_mw.items()
+                    },
+                }
+                for t in self.tenants
+            ],
+            "frequencies": {
+                key: {
+                    "overlay_mw": round(
+                        self.overlay_power[key].total_mw, 4
+                    ),
+                    "separate_mw": round(self.separate_mw[key], 4),
+                    "saving_percent": round(
+                        self.saving_percent(float(key)), 2
+                    ),
+                    "nj_per_transition": {
+                        "overlay": round(
+                            self.energy_per_transition_nj(float(key))[0], 5
+                        ),
+                        "separate": round(
+                            self.energy_per_transition_nj(float(key))[1], 5
+                        ),
+                    },
+                }
+                for key in frequencies
+            },
+        }
+
+
+def build_overlay_report(
+    benchmarks: Sequence[Union[str, FSM]],
+    backend: Union[None, str, MemoryBlockModel] = None,
+    frequencies_mhz: Sequence[float] = _PAPER_FREQUENCIES_MHZ,
+    num_cycles: int = 2000,
+    seed: int = 2004,
+    idle_fraction: Optional[float] = None,
+    max_blocks: Optional[int] = None,
+    device: Optional[Device] = None,
+    params: PowerParams = VIRTEX2_PARAMS,
+    **mapper_kwargs,
+) -> OverlayReport:
+    """Pack, replay and price an overlay over the named benchmarks.
+
+    ``benchmarks`` mixes benchmark names and ad-hoc FSM objects.  Every
+    tenant gets its own decorrelated stimulus stream (uniform random,
+    or idle-biased at ``idle_fraction`` when given — pair it with
+    ``clock_control=True`` in ``mapper_kwargs`` for the §6 story).
+    The separate-baseline power reuses the very same standalone traces
+    the replay produced, so both sides of the comparison saw identical
+    input streams.
+    """
+    fsms: List[FSM] = [
+        load_benchmark(b) if isinstance(b, str) else b for b in benchmarks
+    ]
+    overlay = pack_overlay(
+        fsms, backend=backend, max_blocks=max_blocks, **mapper_kwargs
+    )
+
+    stimuli: Dict[str, List[int]] = {}
+    for fsm in fsms:
+        stream_seed = derive_stream_seed(seed, f"overlay:{fsm.name}")
+        if idle_fraction is None:
+            stimuli[fsm.name] = random_stimulus(
+                fsm.num_inputs, num_cycles, stream_seed
+            )
+        else:
+            stimuli[fsm.name] = idle_biased_stimulus(
+                fsm, num_cycles, idle_fraction, seed=stream_seed
+            )
+    run = run_overlay(overlay, stimuli)
+
+    keys = [f"{f:g}" for f in frequencies_mhz]
+    overlay_power = {
+        key: estimate_overlay_power(
+            run, float(key), device=device, params=params
+        )
+        for key in keys
+    }
+
+    tenants: List[TenantReport] = []
+    separate_mw: Dict[str, float] = {key: 0.0 for key in keys}
+    for name, placement in overlay.tenants.items():
+        impl = placement.impl
+        trace = run.traces[name]
+        activity = extract_rom_activity(impl, trace)
+        standalone = {
+            key: estimate_rom_power(
+                impl, activity, float(key), device=device, params=params
+            ).total_mw
+            for key in keys
+        }
+        for key in keys:
+            separate_mw[key] += standalone[key]
+        tenants.append(TenantReport(
+            name=name,
+            standalone_blocks=impl.num_brams,
+            block=placement.block,
+            region_base=placement.region_base,
+            exclusive=placement.exclusive,
+            depth=placement.depth,
+            width=placement.width,
+            num_cycles=trace.num_cycles,
+            standalone_mw=standalone,
+        ))
+
+    return OverlayReport(
+        backend=overlay.backend.name,
+        num_tenants=overlay.num_tenants,
+        overlay_blocks=overlay.num_blocks,
+        separate_blocks=overlay.separate_blocks,
+        tenants=tenants,
+        overlay_power=overlay_power,
+        separate_mw=separate_mw,
+        run=run,
+    )

@@ -77,7 +77,8 @@ STAGE_VERSIONS: Dict[str, str] = {
     "ff-synth": "1",
     "rom-map": "1",
     "rom-cc": "1",
-    "simulate": "1",
+    # 2: RomTrace gained address_stream/enable_stream (overlay replay).
+    "simulate": "2",
     "activity": "1",
     "power": "1",
     # flows.design's candidate-evaluation stage rides the same registry.

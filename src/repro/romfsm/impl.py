@@ -35,6 +35,7 @@ from repro.synth.wordsim import (
     evaluate_mapping_words,
     pack_bit_column,
     transpose_words,
+    unpack_word,
     word_toggles,
 )
 
@@ -56,6 +57,11 @@ class RomTrace:
     moore_toggles: Dict[str, int]
     control_toggles: Dict[str, int]
     enabled_edges: int
+    # Per-cycle memory port streams: the address presented at edge k and
+    # whether the edge was enabled.  The overlay replay interleaves these
+    # onto a shared physical block (see :mod:`repro.overlay.replay`).
+    address_stream: List[int] = field(default_factory=list)
+    enable_stream: List[int] = field(default_factory=list)
 
     @property
     def enable_duty(self) -> float:
@@ -418,6 +424,8 @@ class RomFsmImplementation:
             moore_toggles=net_toggle_counts(moore_nets),
             control_toggles=net_toggle_counts(ctl_nets),
             enabled_edges=enabled,
+            address_stream=addrs,
+            enable_stream=unpack_word(en_word, num_cycles),
         )
 
     def run_reference(
@@ -456,6 +464,8 @@ class RomFsmImplementation:
 
         outputs: List[int] = []
         states: List[str] = [self.fsm.reset_state]
+        addresses: List[int] = []
+        enables: List[int] = []
         enabled = 0
 
         for input_bits in stimulus:
@@ -485,6 +495,8 @@ class RomFsmImplementation:
             count_bits("in", self.fsm.num_inputs, input_bits)
             count_bits("addr", self.layout.addr_bits, addr)
             count_bits("en", 1, en)
+            addresses.append(addr)
+            enables.append(1 if en else 0)
 
             word_after = self._rom.clock(addr, bool(en))
             if en:
@@ -514,6 +526,8 @@ class RomFsmImplementation:
             moore_toggles=moore_toggles,
             control_toggles=control_toggles,
             enabled_edges=enabled,
+            address_stream=addresses,
+            enable_stream=enables,
         )
 
     # ------------------------------------------------------------------

@@ -22,6 +22,8 @@ __all__ = [
     "read_request",
     "json_response",
     "error_response",
+    "stream_head",
+    "ndjson_line",
 ]
 
 MAX_HEADER_BYTES = 16 * 1024
@@ -143,6 +145,32 @@ def error_response(status: int, message: str, reason: str) -> Response:
     return json_response(
         {"ok": False, "error": reason, "message": message}, status=status
     )
+
+
+def stream_head(
+    status: int = 200, content_type: str = "application/x-ndjson"
+) -> bytes:
+    """Response head for a close-delimited streaming body.
+
+    One-shot connections make streaming trivial: with no
+    ``Content-Length`` the body simply runs until the server closes the
+    socket, so NDJSON lines can be flushed as results complete — no
+    chunked encoding required, and every stdlib client copes.
+    """
+    reason = REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    )
+    return head.encode("ascii")
+
+
+def ndjson_line(payload: Any) -> bytes:
+    """One canonical NDJSON line (sorted keys, compact separators)."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return (body + "\n").encode("utf-8")
 
 
 def split_query(path: str) -> Tuple[str, str]:

@@ -20,7 +20,7 @@ deterministic JSON-ready result (byte-identical to what the direct
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.arch.memblock import (
     DEFAULT_BACKEND_NAME,
@@ -45,11 +45,13 @@ __all__ = [
     "evaluate_payload",
     "map_payload",
     "parse_job",
+    "parse_batch",
     "run_job",
 ]
 
 MAX_CYCLES = 200_000
 MAX_FREQUENCIES = 16
+MAX_BATCH_ITEMS = 256
 
 _EVALUATE_FIELDS = {
     "kind", "benchmark", "kiss", "name", "frequencies_mhz", "num_cycles",
@@ -231,6 +233,39 @@ def _parse_map(body: Dict[str, Any]) -> Job:
         source=source,
         spec=spec,
     )
+
+
+def parse_batch(body: Any) -> List[Union[Job, JobError]]:
+    """Validate a ``/v1/batch`` campaign envelope.
+
+    The envelope is ``{"items": [<evaluate/map bodies...>]}``; each item
+    is validated exactly as the single-job endpoints validate it (an
+    item may carry ``"kind": "map"``; the default is ``evaluate``).  A
+    malformed envelope raises; a malformed *item* does not — it becomes
+    a :class:`JobError` entry at its index, so one bad request line
+    cannot sink an otherwise valid campaign.
+    """
+    if not isinstance(body, dict):
+        raise JobError("batch body must be a JSON object")
+    unknown = set(body) - {"items"}
+    if unknown:
+        raise JobError(f"unknown field(s) for batch: {sorted(unknown)}")
+    items = body.get("items")
+    if not isinstance(items, list) or not items:
+        raise JobError("'items' must be a non-empty list of job bodies")
+    if len(items) > MAX_BATCH_ITEMS:
+        raise JobError(
+            f"batch of {len(items)} items exceeds the "
+            f"{MAX_BATCH_ITEMS}-item limit",
+            reason="oversized",
+        )
+    parsed: List[Union[Job, JobError]] = []
+    for item in items:
+        try:
+            parsed.append(parse_job(item, kind="evaluate"))
+        except JobError as exc:
+            parsed.append(exc)
+    return parsed
 
 
 # -- execution ---------------------------------------------------------

@@ -27,21 +27,24 @@ stages).
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
+import os
 import signal
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import partial
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro import faults
 from repro.logutil import configure_logging, get_logger, kv
 from repro.pipeline.cache import resolve_cache
-from repro.pipeline.driver import RunManifest
+from repro.pipeline.driver import RunManifest, WorkerCrashError
 from repro.pipeline.pipeline import PipelineCancelled
 from repro.service import http
-from repro.service.jobs import Job, JobError, parse_job, run_job
+from repro.service.jobs import Job, JobError, parse_batch, parse_job, run_job
 from repro.service.metrics import MetricsRegistry, render_labels
 
 __all__ = ["CompileServer", "ServerConfig"]
@@ -62,6 +65,13 @@ class ServerConfig:
     max_body_bytes: int = http.DEFAULT_MAX_BODY_BYTES
     executor: str = "process"          # "process" | "thread"
     drain_grace_s: float = 30.0
+    # Process-pool rebuilds tolerated per job before a typed failure
+    # (a killed worker breaks the whole pool; see _execute).
+    worker_retries: int = 2
+    # Concurrent /v1/batch item submissions; 0 = auto (2 * jobs).  The
+    # window keeps a campaign from flooding admission control while
+    # still keeping every executor slot busy.
+    batch_window: int = 0
 
 
 class _InFlight:
@@ -78,8 +88,24 @@ class _InFlight:
         self.started = False
 
 
-def _pool_run(job: Job, cache: Any):
+def _pool_run(
+    job: Job,
+    cache: Any,
+    attempt: int = 0,
+    faults_env: Optional[str] = None,
+):
     """Module-level executor target (must be picklable for process pools)."""
+    # The active fault plan travels as an argument: workers are forked
+    # from a forkserver whose environment was captured at its first
+    # start, so the submit-time env value is the authoritative one.
+    if faults_env:
+        os.environ[faults.FAULTS_ENV] = faults_env
+    else:
+        os.environ.pop(faults.FAULTS_ENV, None)
+    # Chaos hook: "kill" here takes the whole pool worker down, which
+    # surfaces to the event loop as BrokenProcessPool; _execute rebuilds
+    # the pool and retries with the attempt counter advanced.
+    faults.hit("service.worker", attempt=attempt)
     return run_job(job, cache=cache)
 
 
@@ -101,7 +127,11 @@ class CompileServer:
         )
         self._inflight: Dict[str, _InFlight] = {}
         self._slots = asyncio.Semaphore(max(1, self.config.jobs))
+        self._batch_window = asyncio.Semaphore(
+            self.config.batch_window or max(2, 2 * self.config.jobs)
+        )
         self._executor = None
+        self._executor_generation = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self._draining = False
         self._drained = asyncio.Event()
@@ -129,13 +159,19 @@ class CompileServer:
             "Executions stopped at a stage boundary after all waiters left.")
         self._m_latency = m.histogram(
             "romfsm_request_seconds", "End-to-end request latency (seconds).")
+        self._m_batch_items = m.counter(
+            "romfsm_batch_items_total",
+            "Batch campaign items streamed, by outcome.")
+        self._m_worker_crashes = m.counter(
+            "romfsm_worker_crashes_total",
+            "Process-pool rebuilds after a crashed worker.")
 
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> "CompileServer":
         cfg = self.config
         if cfg.executor == "process":
-            self._executor = ProcessPoolExecutor(max_workers=max(1, cfg.jobs))
+            self._executor = self._new_process_pool()
         elif cfg.executor == "thread":
             self._executor = ThreadPoolExecutor(
                 max_workers=max(1, cfg.jobs), thread_name_prefix="romfsm-job"
@@ -216,9 +252,27 @@ class CompileServer:
                 if request is None:
                     return
                 base = http.split_query(request.path)[0]
-                if base not in ("/healthz", "/metrics", "/v1/evaluate", "/v1/map"):
+                if base not in ("/healthz", "/metrics", "/v1/evaluate",
+                                "/v1/map", "/v1/batch"):
                     base = "other"  # bound the metrics label cardinality
                 route = f"{request.method} {base}"
+                if base == "/v1/batch" and request.method == "POST":
+                    # Streaming route: the handler writes the response
+                    # itself (NDJSON lines as items complete).
+                    status = await self._handle_batch(request, writer)
+                    seconds = time.perf_counter() - start
+                    self._m_requests.inc(route=route, status=str(status))
+                    self._m_latency.observe(seconds)
+                    logger.info(kv(
+                        "request", route=route, status=status,
+                        ms=seconds * 1e3,
+                    ))
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionError, BrokenPipeError):
+                        pass
+                    return
                 response = await self._dispatch(request)
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             logger.exception(kv("request_error", route=route, error=type(exc).__name__))
@@ -271,6 +325,9 @@ class CompileServer:
             if request.method != "POST":
                 return http.error_response(405, "use POST", "bad_method")
             return await self._handle_job(request, kind=path.rsplit("/", 1)[1])
+        if path == "/v1/batch":
+            # POST is intercepted (streaming) before dispatch.
+            return http.error_response(405, "use POST", "bad_method")
         return http.error_response(404, f"no route {path!r}", "not_found")
 
     # -- job orchestration ---------------------------------------------
@@ -290,11 +347,68 @@ class CompileServer:
             self._m_rejected.inc(reason=exc.reason)
             return http.error_response(400, str(exc), exc.reason)
 
+        entry, coalesced = self._admit(job)
+        if entry is None:
+            return http.error_response(
+                429,
+                f"overloaded: {int(self._m_in_flight.value())} running and "
+                f"{int(self._m_queue_depth.value())} queued jobs "
+                f"(max queue {self.config.max_queue})",
+                "overloaded",
+            )
+
+        status, value, records = await self._await_job(
+            entry, job, self.config.timeout_s
+        )
+        if status == "timeout":
+            return http.error_response(
+                504,
+                f"job {job.label} exceeded the {self.config.timeout_s:g}s budget",
+                "timeout",
+            )
+        if status == "cancelled":
+            # Should only reach waiters in a drain-abandon corner; report
+            # it as the timeout it effectively is.
+            return http.error_response(
+                504, f"job {job.label} was cancelled", "timeout"
+            )
+        if status == "job_error":
+            return http.error_response(400, str(value), value.reason)
+        if status == "internal":
+            return http.error_response(
+                500, f"{type(value).__name__}: {value}", "internal"
+            )
+
+        hits = sum(1 for r in records if r.cache_hit)
+        return http.json_response({
+            "ok": True,
+            "kind": job.kind,
+            "key": job.key,
+            "coalesced": coalesced,
+            "result": value,
+            "pipeline": {
+                "stage_runs": len(records),
+                "cache_hits": hits,
+                "cache_misses": len(records) - hits,
+            },
+        })
+
+    def _admit(
+        self, job: Job, enforce_queue_limit: bool = True
+    ) -> Tuple[Optional[_InFlight], bool]:
+        """Attach to an identical in-flight job, or spawn the execution.
+
+        Returns ``(entry, coalesced)``; ``(None, False)`` means the
+        admission queue rejected the job (only when
+        ``enforce_queue_limit`` — batch items are windowed by their own
+        semaphore instead, so a campaign cannot starve single requests
+        of 429 headroom they never got to race for).
+        """
         entry = self._inflight.get(job.key)
-        coalesced = entry is not None
-        if coalesced:
+        if entry is not None:
             self._m_coalesced.inc()
-        else:
+            return entry, True
+        if enforce_queue_limit:
             queued = int(self._m_queue_depth.value())
             running = int(self._m_in_flight.value())
             if queued >= self.config.max_queue and running >= self.config.jobs:
@@ -303,42 +417,45 @@ class CompileServer:
                     "reject_overloaded", key=job.key[:12], queued=queued,
                     running=running, max_queue=self.config.max_queue,
                 ))
-                return http.error_response(
-                    429,
-                    f"overloaded: {running} running and {queued} queued "
-                    f"jobs (max queue {self.config.max_queue})",
-                    "overloaded",
-                )
-            entry = _InFlight(job.key, asyncio.get_running_loop().create_future())
-            self._inflight[job.key] = entry
-            entry.task = asyncio.ensure_future(self._execute(entry, job))
+                return None, False
+        entry = _InFlight(job.key, asyncio.get_running_loop().create_future())
+        self._inflight[job.key] = entry
+        entry.task = asyncio.ensure_future(self._execute(entry, job))
+        return entry, False
 
+    async def _await_job(
+        self, entry: _InFlight, job: Job, timeout_s: float
+    ) -> Tuple[str, Any, Any]:
+        """Wait on a coalesced execution.
+
+        Returns ``(status, value, records)``: ``("ok", payload,
+        records)`` on success; otherwise status is ``"timeout"``,
+        ``"cancelled"``, ``"job_error"`` or ``"internal"`` with the
+        exception (if any) in ``value``.  Waiter accounting and
+        last-waiter cancellation live here so every route (single or
+        batch) shares the same semantics.
+        """
         entry.waiters += 1
         try:
             payload, records = await asyncio.wait_for(
-                asyncio.shield(entry.future), timeout=self.config.timeout_s
+                asyncio.shield(entry.future), timeout=timeout_s
             )
+            return "ok", payload, records
         except asyncio.TimeoutError:
             self._m_rejected.inc(reason="timeout")
             logger.warning(kv(
                 "request_timeout", key=job.key[:12],
-                timeout_s=self.config.timeout_s, waiters=entry.waiters - 1,
+                timeout_s=timeout_s, waiters=entry.waiters - 1,
             ))
-            return http.error_response(
-                504,
-                f"job {job.label} exceeded the {self.config.timeout_s:g}s budget",
-                "timeout",
-            )
+            return "timeout", None, None
         except (PipelineCancelled, asyncio.CancelledError):
-            # Should only reach waiters in a drain-abandon corner; report
-            # it as the timeout it effectively is.
             self._m_rejected.inc(reason="timeout")
-            return http.error_response(504, f"job {job.label} was cancelled", "timeout")
+            return "cancelled", None, None
         except JobError as exc:
             self._m_rejected.inc(reason=exc.reason)
-            return http.error_response(400, str(exc), exc.reason)
+            return "job_error", exc, None
         except Exception as exc:  # noqa: BLE001 - runner bug → 500
-            return http.error_response(500, f"{type(exc).__name__}: {exc}", "internal")
+            return "internal", exc, None
         finally:
             entry.waiters -= 1
             if entry.waiters == 0 and not entry.future.done():
@@ -349,19 +466,154 @@ class CompileServer:
                 if not entry.started and entry.task is not None:
                     entry.task.cancel()
 
-        hits = sum(1 for r in records if r.cache_hit)
-        return http.json_response({
-            "ok": True,
-            "kind": job.kind,
-            "key": job.key,
-            "coalesced": coalesced,
-            "result": payload,
-            "pipeline": {
-                "stage_runs": len(records),
-                "cache_hits": hits,
-                "cache_misses": len(records) - hits,
-            },
-        })
+    # -- batch campaigns -----------------------------------------------
+
+    async def _handle_batch(self, request: http.Request, writer) -> int:
+        """POST /v1/batch: run a campaign, streaming per-item NDJSON.
+
+        The response is close-delimited: a header line, one line per
+        item *in completion order* (each carrying its ``item`` index),
+        and a final ``done`` line with the tally.  Items coalesce with
+        each other and with single-endpoint requests through the same
+        in-flight map; a stalled item yields a typed in-stream timeout
+        line, never a hung campaign.
+        """
+        if self._draining:
+            self._m_rejected.inc(reason="draining")
+            return await self._write_plain(
+                writer,
+                http.error_response(
+                    503, "server is draining; retry elsewhere", "draining"
+                ),
+            )
+        try:
+            items = parse_batch(request.json())
+        except http.HttpError as exc:
+            self._m_rejected.inc(reason=exc.reason)
+            return await self._write_plain(
+                writer, http.error_response(exc.status, exc.message, exc.reason)
+            )
+        except JobError as exc:
+            self._m_rejected.inc(reason=exc.reason)
+            return await self._write_plain(
+                writer, http.error_response(400, str(exc), exc.reason)
+            )
+
+        async def run_item(index: int, job: Job) -> Dict[str, Any]:
+            async with self._batch_window:
+                entry, coalesced = self._admit(job, enforce_queue_limit=False)
+                status, value, records = await self._await_job(
+                    entry, job, self.config.timeout_s
+                )
+            if status == "ok":
+                hits = sum(1 for r in records if r.cache_hit)
+                return {
+                    "item": index,
+                    "ok": True,
+                    "kind": job.kind,
+                    "key": job.key,
+                    "coalesced": coalesced,
+                    "result": value,
+                    "pipeline": {
+                        "stage_runs": len(records),
+                        "cache_hits": hits,
+                        "cache_misses": len(records) - hits,
+                    },
+                }
+            if status in ("timeout", "cancelled"):
+                return {
+                    "item": index, "ok": False, "error": "timeout",
+                    "message": (
+                        f"item {job.label} exceeded the "
+                        f"{self.config.timeout_s:g}s budget"
+                    ),
+                }
+            if status == "job_error":
+                return {
+                    "item": index, "ok": False,
+                    "error": value.reason, "message": str(value),
+                }
+            return {
+                "item": index, "ok": False, "error": "internal",
+                "message": f"{type(value).__name__}: {value}",
+            }
+
+        async def bad_item(index: int, exc: JobError) -> Dict[str, Any]:
+            return {
+                "item": index, "ok": False,
+                "error": exc.reason, "message": str(exc),
+            }
+
+        tasks = [
+            asyncio.ensure_future(
+                bad_item(i, item) if isinstance(item, JobError)
+                else run_item(i, item)
+            )
+            for i, item in enumerate(items)
+        ]
+
+        ok_count = failed = 0
+        try:
+            writer.write(http.stream_head())
+            writer.write(http.ndjson_line(
+                {"ok": True, "kind": "batch", "items": len(tasks)}
+            ))
+            await writer.drain()
+            for done in asyncio.as_completed(tasks):
+                line = await done
+                if line.get("ok"):
+                    ok_count += 1
+                    self._m_batch_items.inc(outcome="ok")
+                else:
+                    failed += 1
+                    self._m_batch_items.inc(
+                        outcome=line.get("error", "error")
+                    )
+                writer.write(http.ndjson_line(line))
+                await writer.drain()
+            writer.write(http.ndjson_line({
+                "done": True, "items": len(tasks),
+                "ok_count": ok_count, "failed": failed,
+            }))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            # Client went away mid-stream: abandon what nobody reads.
+            logger.warning(kv(
+                "batch_client_gone", streamed=ok_count + failed,
+                items=len(tasks),
+            ))
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+        except Exception as exc:  # noqa: BLE001 - keep the stream typed
+            logger.exception(kv("batch_error", error=type(exc).__name__))
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            try:
+                writer.write(http.ndjson_line({
+                    "done": True, "items": len(tasks),
+                    "ok_count": ok_count, "failed": failed,
+                    "error": "internal",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }))
+                await writer.drain()
+            except (ConnectionError, BrokenPipeError):
+                pass
+        logger.info(kv(
+            "batch_done", items=len(tasks), ok=ok_count, failed=failed,
+        ))
+        return 200
+
+    @staticmethod
+    async def _write_plain(writer, response: http.Response) -> int:
+        """Write a non-streaming response on the batch route."""
+        try:
+            writer.write(response.encode())
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        return response.status
 
     async def _execute(self, entry: _InFlight, job: Job) -> None:
         """Run one unique job through the executor; settle the future."""
@@ -376,32 +628,8 @@ class CompileServer:
                     raise asyncio.CancelledError
                 self._m_in_flight.inc()
                 started = time.perf_counter()
-                loop = asyncio.get_running_loop()
                 try:
-                    if self.config.executor == "process":
-                        # The cancel event cannot cross the process
-                        # boundary; an abandoned job runs to completion
-                        # there and at least warms the artifact cache.
-                        call = partial(
-                            self._runner or _pool_run, job, self._cache_spec
-                        )
-                    else:
-                        runner = self._runner or run_job
-                        # Thread workers share the server's cache
-                        # instance, so degradation state and stats are
-                        # process-wide truths (and /metrics can report
-                        # them); process workers get the path spec.
-                        call = partial(
-                            runner, job,
-                            cache=(
-                                self._cache if self._cache is not None
-                                else self._cache_spec
-                            ),
-                            should_cancel=entry.cancel_event.is_set,
-                        )
-                    payload, records = await loop.run_in_executor(
-                        self._executor, call
-                    )
+                    payload, records = await self._run_in_executor(entry, job)
                 finally:
                     self._m_in_flight.dec()
                 self._m_runs.inc(kind=job.kind)
@@ -442,6 +670,88 @@ class CompileServer:
             if entry.future.done() and entry.future.cancelled() is False:
                 exc = entry.future.exception()
                 del exc
+
+    async def _run_in_executor(self, entry: _InFlight, job: Job):
+        """Dispatch one job to the executor, surviving crashed workers.
+
+        A worker that dies mid-job (OOM kill, chaos ``os._exit``) breaks
+        the *whole* ``ProcessPoolExecutor`` — every queued future fails
+        with :class:`BrokenProcessPool`.  The first job to observe the
+        break swaps in a fresh pool (generation-guarded so concurrent
+        observers rebuild once) and each affected job retries with its
+        attempt counter advanced, up to ``worker_retries`` rebuilds.
+        """
+        loop = asyncio.get_running_loop()
+        attempt = 0
+        while True:
+            generation = self._executor_generation
+            if self.config.executor == "process":
+                # The cancel event cannot cross the process boundary;
+                # an abandoned job runs to completion there and at
+                # least warms the artifact cache.
+                if self._runner is not None:
+                    call = partial(self._runner, job, self._cache_spec)
+                else:
+                    call = partial(
+                        _pool_run, job, self._cache_spec, attempt,
+                        os.environ.get(faults.FAULTS_ENV),
+                    )
+            else:
+                runner = self._runner or run_job
+                # Thread workers share the server's cache instance, so
+                # degradation state and stats are process-wide truths
+                # (and /metrics can report them); process workers get
+                # the path spec.
+                call = partial(
+                    runner, job,
+                    cache=(
+                        self._cache if self._cache is not None
+                        else self._cache_spec
+                    ),
+                    should_cancel=entry.cancel_event.is_set,
+                )
+            try:
+                return await loop.run_in_executor(self._executor, call)
+            except BrokenProcessPool:
+                attempt += 1
+                self._m_worker_crashes.inc()
+                if (
+                    self._draining
+                    or self.config.executor != "process"
+                    or attempt > self.config.worker_retries
+                ):
+                    raise WorkerCrashError(1, attempt)
+                logger.warning(kv(
+                    "worker_retry", key=job.key[:12], kind=job.kind,
+                    attempt=attempt,
+                ))
+                self._rebuild_executor(generation)
+
+    def _new_process_pool(self) -> ProcessPoolExecutor:
+        """A worker pool whose processes never inherit connection fds.
+
+        Plain ``fork`` taken mid-request would duplicate every open
+        client socket into the long-lived workers; a close-delimited
+        stream (``/v1/batch``) then never reaches EOF on the client
+        because a worker still holds the fd after the server closes its
+        copy.  Forking from a forkserver (itself spawned fd-clean via
+        exec) breaks that inheritance for the initial pool and for
+        every crash rebuild.
+        """
+        return ProcessPoolExecutor(
+            max_workers=max(1, self.config.jobs),
+            mp_context=multiprocessing.get_context("forkserver"),
+        )
+
+    def _rebuild_executor(self, generation: int) -> None:
+        """Replace a broken process pool (once per break, not per job)."""
+        if generation != self._executor_generation:
+            return  # another job already rebuilt past this generation
+        self._executor_generation += 1
+        broken = self._executor
+        self._executor = self._new_process_pool()
+        if broken is not None:
+            broken.shutdown(wait=False)
 
     # -- introspection --------------------------------------------------
 

@@ -250,3 +250,98 @@ class TestServiceChaos:
         status, reply = run_async(body(), timeout=60.0)
         assert status == 504
         assert reply["error"] == "timeout"
+
+
+class TestBatchChaos:
+    """ISSUE 7: /v1/batch under worker kills and stalled items."""
+
+    def test_worker_kill_mid_batch_completes_bit_identical(
+        self, record_plan
+    ):
+        benchmarks = ["dk14", "donfile"]
+        expected = {
+            name: evaluate_payload(
+                evaluate_benchmark(name, cache=False, **SMALL))
+            for name in benchmarks
+        }
+
+        # Every item's first pool attempt dies; the server rebuilds the
+        # broken ProcessPoolExecutor and the retry round completes.
+        plan = record_plan(FaultPlan(
+            [FaultRule(point="service.worker", kind="kill",
+                       match={"attempt": 0})]
+        ))
+
+        async def body():
+            config = ServerConfig(
+                port=0, executor="process", jobs=2, cache=False,
+                timeout_s=120.0, drain_grace_s=5.0,
+            )
+            # export_env=True (default): pool workers inherit the plan.
+            with faults.injected(plan):
+                async with serving(config) as server:
+                    loop = asyncio.get_running_loop()
+                    client = ServiceClient(
+                        port=server.port, timeout_s=150.0, retries=0,
+                    )
+                    items = [
+                        {"benchmark": name, "num_cycles": 150,
+                         "frequencies_mhz": [100.0], "seed": 11}
+                        for name in benchmarks
+                    ]
+                    results = await loop.run_in_executor(
+                        None, lambda: client.batch(items)
+                    )
+                    crashes = server.metrics.render()
+                    return results, crashes
+
+        results, metrics = run_async(body(), timeout=300.0)
+        assert all(r["ok"] for r in results)
+        for index, name in enumerate(benchmarks):
+            got = json.dumps(results[index]["result"], sort_keys=True)
+            want = json.dumps(expected[name], sort_keys=True)
+            assert got == want, f"{name} diverged after worker kill"
+        # Not vacuous: the pool really broke and was really rebuilt.
+        crash_lines = [
+            line for line in metrics.splitlines()
+            if line.startswith("romfsm_worker_crashes_total ")
+        ]
+        assert crash_lines and float(crash_lines[0].split()[-1]) >= 1
+
+    def test_stalled_batch_item_times_out_typed_not_hanging(
+        self, record_plan
+    ):
+        # Only donfile stalls; dk14 must stream through unharmed and
+        # the campaign must end with a done line, never a hang.
+        plan = record_plan(FaultPlan(
+            [FaultRule(point="service.job", kind="stall", delay_s=3.0,
+                       match={"source": "donfile"})]
+        ))
+
+        async def body():
+            config = ServerConfig(
+                port=0, executor="thread", jobs=2, cache=False,
+                timeout_s=0.4, drain_grace_s=0.1,
+            )
+            async with serving(config) as server:
+                with faults.injected(plan, export_env=False):
+                    return await http_request(
+                        server.port, "POST", "/v1/batch",
+                        body={"items": [
+                            {"benchmark": "dk14", "num_cycles": 50,
+                             "frequencies_mhz": [100.0]},
+                            {"benchmark": "donfile", "num_cycles": 50,
+                             "frequencies_mhz": [100.0]},
+                        ]},
+                    )
+
+        status, text = run_async(body(), timeout=60.0)
+        assert status == 200
+        lines = [json.loads(l) for l in text.splitlines() if l.strip()]
+        done = lines[-1]
+        assert done["done"] is True
+        assert done["ok_count"] == 1 and done["failed"] == 1
+        by_index = {l["item"]: l for l in lines if "item" in l}
+        assert by_index[0]["ok"] is True
+        assert by_index[1]["ok"] is False
+        assert by_index[1]["error"] == "timeout"

@@ -1,0 +1,317 @@
+"""Overlay subsystem: packing legality, replay bit-identity, hot swap.
+
+The acceptance invariants (ISSUE 7):
+
+* every tenant's time-multiplexed trace is **bit-identical** to a fresh
+  standalone :meth:`RomFsmImplementation.run` of the same machine under
+  the same stimulus — across mapper configurations and both backends;
+* a hot swap rewrites exactly one tenant's region: every neighbour's
+  words and replayed traces stay **byte-identical**;
+* packing never produces an unaligned or overlapping region, and a
+  blown block budget is a one-line typed error.
+"""
+
+import pytest
+
+from repro.bench.suite import load_benchmark
+from repro.fsm.machine import FSM, FsmError
+from repro.fsm.simulate import derive_stream_seed, random_stimulus
+from repro.overlay import (
+    OverlayError,
+    build_overlay_report,
+    pack_overlay,
+    run_overlay,
+)
+from repro.romfsm.mapper import map_fsm_to_rom
+
+TENANTS = ["dk14", "donfile", "keyb", "styr"]
+BACKENDS = ["virtex2-bram", "reram-1t1r"]
+MAPPER_CONFIGS = [
+    {},
+    {"clock_control": True},
+    {"force_compaction": True},
+]
+
+
+def stimuli_for(fsms, num_cycles=200, seed=7):
+    return {
+        fsm.name: random_stimulus(
+            fsm.num_inputs, num_cycles,
+            derive_stream_seed(seed, f"test:{fsm.name}"),
+        )
+        for fsm in fsms
+    }
+
+
+def trace_key(trace):
+    """Every observable field of a trace, for bit-identity checks."""
+    return (
+        trace.state_stream,
+        trace.output_stream,
+        trace.address_stream,
+        trace.enable_stream,
+        trace.num_cycles,
+    )
+
+
+class TestPacking:
+    def test_overlay_uses_fewer_blocks_than_separate(self):
+        overlay = pack_overlay([load_benchmark(n) for n in TENANTS])
+        assert overlay.num_blocks < overlay.separate_blocks
+        assert overlay.num_tenants == len(TENANTS)
+
+    def test_regions_are_aligned_and_disjoint(self):
+        overlay = pack_overlay([load_benchmark(n) for n in TENANTS])
+        spans = {}
+        for name, p in overlay.tenants.items():
+            assert p.region_base % p.depth == 0
+            spans.setdefault(p.block, []).append(
+                (p.region_base, p.region_base + p.depth, name)
+            )
+        for block, regions in spans.items():
+            regions.sort()
+            for (_, end_a, a), (start_b, _, b) in zip(regions, regions[1:]):
+                assert end_a <= start_b, f"{a} overlaps {b} on block {block}"
+
+    def test_region_words_equal_standalone_image(self):
+        overlay = pack_overlay([load_benchmark(n) for n in TENANTS])
+        for name, p in overlay.tenants.items():
+            assert overlay.region_words(name) == p.impl.contents
+        overlay.verify()  # the built-in audit agrees
+
+    def test_tenant_order_is_caller_order(self):
+        fsms = [load_benchmark(n) for n in TENANTS]
+        overlay = pack_overlay(fsms)
+        assert list(overlay.tenants) == TENANTS
+
+    def test_named_tuple_tenants(self):
+        fsm = load_benchmark("dk14")
+        overlay = pack_overlay([("left", fsm), ("right", fsm)])
+        assert set(overlay.tenants) == {"left", "right"}
+        # Two copies of the same image share one block, two regions.
+        left, right = overlay.tenants["left"], overlay.tenants["right"]
+        assert left.block == right.block
+        assert left.region_base != right.region_base
+
+    def test_duplicate_names_rejected(self):
+        fsm = load_benchmark("dk14")
+        with pytest.raises(OverlayError, match="duplicate"):
+            pack_overlay([fsm, fsm])
+
+    def test_block_budget_is_typed_error(self):
+        fsms = [load_benchmark(n) for n in TENANTS]
+        demand = pack_overlay(fsms).num_blocks
+        with pytest.raises(OverlayError, match="budget"):
+            pack_overlay(fsms, max_blocks=demand - 1)
+        pack_overlay(fsms, max_blocks=demand)  # exact budget fits
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_packs_on_both_backends(self, backend):
+        overlay = pack_overlay(
+            [load_benchmark(n) for n in TENANTS], backend=backend
+        )
+        assert overlay.backend.name == backend
+        overlay.verify()
+
+
+class TestReplayBitIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize(
+        "mapper_kwargs", MAPPER_CONFIGS,
+        ids=["default", "clock-control", "compaction"],
+    )
+    def test_traces_identical_to_standalone(self, backend, mapper_kwargs):
+        fsms = [load_benchmark(n) for n in TENANTS]
+        stimuli = stimuli_for(fsms)
+        overlay = pack_overlay(fsms, backend=backend, **mapper_kwargs)
+        run = run_overlay(overlay, stimuli)
+
+        for fsm in fsms:
+            # A *fresh* standalone mapping — not the packed tenant's own
+            # implementation — so the comparison cannot be vacuous.
+            fresh = map_fsm_to_rom(fsm, backend=backend, **mapper_kwargs)
+            standalone = fresh.run(list(stimuli[fsm.name]))
+            assert trace_key(run.traces[fsm.name]) == trace_key(standalone)
+
+    def test_unequal_stream_lengths_deschedule_cleanly(self):
+        fsms = [load_benchmark(n) for n in ["dk14", "donfile"]]
+        stimuli = stimuli_for(fsms)
+        stimuli["dk14"] = stimuli["dk14"][:37]  # exhausts early
+        overlay = pack_overlay(fsms)
+        run = run_overlay(overlay, stimuli)
+        assert run.traces["dk14"].num_cycles == 37
+        fresh = map_fsm_to_rom(load_benchmark("dk14"))
+        assert trace_key(run.traces["dk14"]) == trace_key(
+            fresh.run(list(stimuli["dk14"]))
+        )
+        # Global schedule still covers the longer tenant's full run.
+        assert run.global_cycles == 200 * 2
+
+    def test_missing_stimulus_is_typed(self):
+        fsms = [load_benchmark(n) for n in ["dk14", "donfile"]]
+        overlay = pack_overlay(fsms)
+        with pytest.raises(OverlayError, match="no stimulus"):
+            run_overlay(overlay, {"dk14": [0, 1]})
+        with pytest.raises(OverlayError, match="unknown tenants"):
+            run_overlay(
+                overlay,
+                {**stimuli_for(fsms), "ghost": [0]},
+            )
+
+    def test_corrupted_region_is_caught_not_silent(self):
+        fsms = [load_benchmark(n) for n in ["dk14", "donfile"]]
+        overlay = pack_overlay(fsms)
+        block = overlay.block_of("dk14")
+        base = overlay.tenants["dk14"].region_base
+        block.words[base] ^= 1  # single-bit upset in the shared block
+        with pytest.raises(OverlayError, match="shared block returned"):
+            run_overlay(overlay, stimuli_for(fsms))
+
+    def test_enable_duty_splits_across_tenants(self):
+        """A block's slots are only enabled for its own tenants."""
+        fsms = [load_benchmark(n) for n in TENANTS]
+        overlay = pack_overlay(fsms)
+        run = run_overlay(overlay, stimuli_for(fsms))
+        for block, stats in zip(overlay.blocks, run.block_stats):
+            expected = sum(
+                run.traces[name].num_cycles for name in block.tenants
+            )
+            assert stats.enabled_edges == expected
+            assert stats.enable_duty <= len(block.tenants) / run.stride + 1e-9
+
+
+def vending_pair():
+    """Same-interface FSM pair from the ECO example (v1 → v2 swap)."""
+    states = ["Idle", "C5", "C10", "C15"]
+
+    v1 = FSM("vendor", 2, 2, states, "Idle")
+    v1.add("Idle", "00", "Idle", "00")
+    v1.add("Idle", "10", "C5", "00")
+    v1.add("Idle", "01", "C10", "00")
+    v1.add("Idle", "11", "C15", "00")
+    v1.add("C5", "00", "C5", "00")
+    v1.add("C5", "10", "C10", "00")
+    v1.add("C5", "01", "C15", "00")
+    v1.add("C5", "11", "Idle", "10")
+    v1.add("C10", "00", "C10", "00")
+    v1.add("C10", "10", "C15", "00")
+    v1.add("C10", "01", "Idle", "10")
+    v1.add("C10", "11", "Idle", "11")
+    v1.add("C15", "00", "C15", "00")
+    v1.add("C15", "10", "Idle", "10")
+    v1.add("C15", "01", "Idle", "11")
+    v1.add("C15", "11", "Idle", "11")
+
+    v2 = FSM("vendor", 2, 2, states, "Idle")
+    v2.add("Idle", "00", "Idle", "00")
+    v2.add("Idle", "10", "C5", "00")
+    v2.add("Idle", "01", "C10", "00")
+    v2.add("Idle", "11", "Idle", "10")
+    v2.add("C5", "00", "C5", "00")
+    v2.add("C5", "10", "C10", "00")
+    v2.add("C5", "01", "Idle", "10")
+    v2.add("C5", "11", "Idle", "11")
+    v2.add("C10", "00", "C10", "00")
+    v2.add("C10", "10", "Idle", "10")
+    v2.add("C10", "01", "Idle", "11")
+    v2.add("C10", "11", "Idle", "11")
+    v2.add("C15", "--", "Idle", "00")
+    return v1, v2
+
+
+class TestHotSwap:
+    def _overlay_with_vendor(self):
+        v1, v2 = vending_pair()
+        fsms = [load_benchmark("dk14"), v1, load_benchmark("donfile")]
+        return pack_overlay(fsms), fsms, v2
+
+    def test_swap_is_bit_identical_to_fresh_map(self):
+        overlay, _fsms, v2 = self._overlay_with_vendor()
+        overlay.rewrite_tenant("vendor", v2)
+        fresh = map_fsm_to_rom(v2)
+        assert overlay.region_words("vendor") == fresh.contents
+        overlay.verify()
+
+    def test_neighbours_untouched_byte_for_byte(self):
+        overlay, fsms, v2 = self._overlay_with_vendor()
+        neighbours = [n for n in overlay.tenants if n != "vendor"]
+        before_words = {n: overlay.region_words(n) for n in neighbours}
+        before_blocks = {
+            b.index: list(b.words) for b in overlay.blocks
+        }
+        overlay.rewrite_tenant("vendor", v2)
+        for n in neighbours:
+            assert overlay.region_words(n) == before_words[n]
+        # Outside the vendor's region, every block word is unchanged.
+        p = overlay.tenants["vendor"]
+        for b in overlay.blocks:
+            for i, (old, new) in enumerate(
+                zip(before_blocks[b.index], b.words)
+            ):
+                inside = (
+                    b.index == p.block
+                    and p.region_base <= i < p.region_base + p.depth
+                )
+                if not inside:
+                    assert old == new, f"block {b.index} word {i} changed"
+
+    def test_replay_after_swap_matches_standalone_v2(self):
+        overlay, fsms, v2 = self._overlay_with_vendor()
+        stimuli = stimuli_for(fsms)
+        before = run_overlay(overlay, stimuli)
+        overlay.rewrite_tenant("vendor", v2)
+        after = run_overlay(overlay, stimuli)
+        # Neighbours replay identically; the vendor now follows v2.
+        for n in overlay.tenants:
+            if n == "vendor":
+                continue
+            assert trace_key(after.traces[n]) == trace_key(before.traces[n])
+        fresh_v2 = map_fsm_to_rom(v2)
+        assert trace_key(after.traces["vendor"]) == trace_key(
+            fresh_v2.run(list(stimuli["vendor"]))
+        )
+
+    def test_interface_change_rejected(self):
+        overlay, _fsms, _v2 = self._overlay_with_vendor()
+        wide = FSM("vendor", 3, 2, ["Idle", "C5", "C10", "C15"], "Idle")
+        wide.add("Idle", "---", "Idle", "00")
+        before = overlay.region_words("vendor")
+        with pytest.raises(FsmError):
+            overlay.rewrite_tenant("vendor", wide)
+        assert overlay.region_words("vendor") == before  # no partial write
+
+    def test_unknown_tenant_rejected(self):
+        overlay, _fsms, v2 = self._overlay_with_vendor()
+        with pytest.raises(OverlayError, match="no tenant"):
+            overlay.rewrite_tenant("ghost", v2)
+
+
+class TestOverlayReport:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_report_sanity(self, backend):
+        report = build_overlay_report(
+            TENANTS, backend=backend,
+            num_cycles=200, frequencies_mhz=(100.0,),
+        )
+        assert report.backend == backend
+        assert report.num_tenants == len(TENANTS)
+        assert 0 < report.overlay_blocks < report.separate_blocks
+        assert report.block_saving_percent > 0
+        assert report.overlay_mw(100.0) > 0
+        assert report.separate_mw["100"] > report.overlay_mw(100.0)
+        ovl_nj, sep_nj = report.energy_per_transition_nj(100.0)
+        assert ovl_nj > 0 and sep_nj > 0
+
+    def test_to_json_shape(self):
+        report = build_overlay_report(
+            ["dk14", "donfile"], num_cycles=150, frequencies_mhz=(100.0,)
+        )
+        data = report.to_json()
+        assert data["num_tenants"] == 2
+        assert {t["name"] for t in data["tenants"]} == {"dk14", "donfile"}
+        entry = data["frequencies"]["100"]
+        assert set(entry) == {
+            "overlay_mw", "separate_mw", "saving_percent",
+            "nj_per_transition",
+        }
+        assert entry["nj_per_transition"]["overlay"] > 0

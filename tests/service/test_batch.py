@@ -1,0 +1,198 @@
+"""/v1/batch: streaming campaigns, per-item fidelity, coalescing."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.flows.flow import evaluate_benchmark
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import MAX_BATCH_ITEMS, evaluate_payload
+from repro.service.server import ServerConfig
+
+from tests.service.conftest import http_request, run_async, serving
+
+SMALL = {"num_cycles": 120, "frequencies_mhz": [100.0], "seed": 11}
+
+
+def batch_lines(text):
+    """Parse a close-delimited NDJSON body into dicts."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def item_body(benchmark):
+    return {"benchmark": benchmark, **SMALL}
+
+
+class TestBatchStreaming:
+    def test_stream_shape_and_item_fidelity(self):
+        async def body():
+            async with serving() as server:
+                return await http_request(
+                    server.port, "POST", "/v1/batch",
+                    body={"items": [item_body("dk14"), item_body("donfile")]},
+                )
+
+        status, text = run_async(body())
+        assert status == 200
+        lines = batch_lines(text)
+        header, *items, done = lines
+        assert header == {"ok": True, "kind": "batch", "items": 2}
+        assert done["done"] is True
+        assert done["items"] == 2 and done["ok_count"] == 2
+        assert done["failed"] == 0
+
+        # Per-item payloads match a direct evaluation byte for byte.
+        by_index = {line["item"]: line for line in items}
+        for index, name in enumerate(["dk14", "donfile"]):
+            direct = evaluate_payload(evaluate_benchmark(
+                name, cache=False, num_cycles=120,
+                frequencies_mhz=(100.0,), seed=11,
+            ))
+            got = by_index[index]
+            assert got["ok"] is True
+            assert got["kind"] == "evaluate"
+            assert json.dumps(got["result"], sort_keys=True) == json.dumps(
+                direct, sort_keys=True
+            )
+
+    def test_duplicate_items_coalesce(self):
+        async def body():
+            async with serving() as server:
+                status, text = await http_request(
+                    server.port, "POST", "/v1/batch",
+                    body={"items": [item_body("dk14")] * 3},
+                )
+                runs = server.metrics.render()
+                return status, text, runs
+
+        status, text, metrics = run_async(body())
+        assert status == 200
+        items = [l for l in batch_lines(text) if "item" in l]
+        assert all(l["ok"] for l in items)
+        keys = {l["key"] for l in items}
+        assert len(keys) == 1
+        assert sum(1 for l in items if l["coalesced"]) == 2
+        # Exactly one pipeline execution despite three items.
+        assert 'romfsm_pipeline_runs_total{kind="evaluate"} 1' in metrics
+
+    def test_bad_item_is_in_stream_not_fatal(self):
+        async def body():
+            async with serving() as server:
+                return await http_request(
+                    server.port, "POST", "/v1/batch",
+                    body={"items": [
+                        item_body("dk14"),
+                        {"benchmark": "no-such-machine"},
+                        {"frobnicate": 1},
+                    ]},
+                )
+
+        status, text = run_async(body())
+        assert status == 200
+        lines = batch_lines(text)
+        done = lines[-1]
+        assert done["ok_count"] == 1 and done["failed"] == 2
+        by_index = {l["item"]: l for l in lines if "item" in l}
+        assert by_index[0]["ok"] is True
+        assert by_index[1]["ok"] is False
+        assert by_index[1]["error"] == "unknown_benchmark"
+        assert by_index[2]["ok"] is False
+
+
+class TestBatchValidation:
+    def test_malformed_body_is_plain_400(self):
+        async def body():
+            async with serving() as server:
+                return await http_request(
+                    server.port, "POST", "/v1/batch",
+                    body={"items": []},
+                )
+
+        status, reply = run_async(body())
+        assert status == 400
+        assert reply["ok"] is False
+
+    def test_oversized_campaign_rejected(self):
+        async def body():
+            async with serving() as server:
+                return await http_request(
+                    server.port, "POST", "/v1/batch",
+                    body={"items": [item_body("dk14")] * (MAX_BATCH_ITEMS + 1)},
+                )
+
+        status, reply = run_async(body())
+        assert status == 400
+        assert reply["error"] == "oversized"
+
+    def test_get_is_405(self):
+        async def body():
+            async with serving() as server:
+                return await http_request(server.port, "GET", "/v1/batch")
+
+        status, reply = run_async(body())
+        assert status == 405
+
+    def test_draining_server_rejects_batch(self):
+        async def body():
+            async with serving() as server:
+                server._draining = True
+                return await http_request(
+                    server.port, "POST", "/v1/batch",
+                    body={"items": [item_body("dk14")]},
+                )
+
+        status, reply = run_async(body())
+        assert status == 503
+        assert reply["error"] == "draining"
+
+
+class TestBatchClient:
+    def test_client_batch_returns_item_order(self):
+        async def body():
+            async with serving() as server:
+                loop = asyncio.get_running_loop()
+                client = ServiceClient(port=server.port, retries=0)
+                return await loop.run_in_executor(
+                    None,
+                    lambda: client.batch([
+                        item_body("donfile"),
+                        item_body("dk14"),
+                        {"benchmark": "nope"},
+                    ]),
+                )
+
+        results = run_async(body())
+        assert [r["item"] for r in results] == [0, 1, 2]
+        assert results[0]["ok"] and results[1]["ok"]
+        assert results[2]["ok"] is False
+
+    def test_client_stream_yields_header_first(self):
+        async def body():
+            async with serving() as server:
+                loop = asyncio.get_running_loop()
+                client = ServiceClient(port=server.port, retries=0)
+                return await loop.run_in_executor(
+                    None,
+                    lambda: list(client.batch_stream([item_body("dk14")])),
+                )
+
+        lines = run_async(body())
+        assert lines[0] == {"ok": True, "kind": "batch", "items": 1}
+        assert lines[-1]["done"] is True
+
+    def test_client_error_on_plain_rejection(self):
+        async def body():
+            async with serving() as server:
+                loop = asyncio.get_running_loop()
+                client = ServiceClient(port=server.port, retries=0)
+
+                def call():
+                    with pytest.raises(ServiceError) as info:
+                        list(client.batch_stream([]))
+                    return info.value
+
+                return await loop.run_in_executor(None, call)
+
+        exc = run_async(body())
+        assert exc.status == 400
