@@ -11,6 +11,7 @@ from repro.flows.flow import (
     implement_rom,
 )
 from repro.flows.design import DesignReport, FsmChoice, FsmDesign
+from repro.flows.eco import EcoError, EcoResult, eco_evaluate
 from repro.flows.tables import (
     last_run_manifest,
     run_all,
@@ -37,4 +38,7 @@ __all__ = [
     "FsmDesign",
     "FsmChoice",
     "DesignReport",
+    "EcoError",
+    "EcoResult",
+    "eco_evaluate",
 ]

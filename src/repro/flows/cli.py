@@ -7,6 +7,8 @@ Subcommands mirror the paper's artifacts::
     romfsm map FILE.kiss2|BENCH [--clock-control] [--backend NAME]
                   [--vhdl OUT.vhd]
     romfsm eval FILE.kiss2|BENCH [--freq MHZ ...] [--backend NAME]
+    romfsm eco FILE.kiss2|BENCH --edits FILE.json|--new FILE.kiss2
+                  [--old-fingerprint FP]       # patch ROM words in place
     romfsm overlay FSM FSM ... [--max-blocks N] [--backend NAME]
                   [--json OUT.json]                 # multi-tenant packing
     romfsm serve [--port P] [--jobs N] [--max-queue Q] [--timeout S]
@@ -224,24 +226,45 @@ def _print_eval_profile(report) -> None:
 
     Reuses the :class:`~repro.pipeline.driver.RunManifest` aggregation
     the ``tables`` command already records — no extra instrumentation;
-    stages appear in execution order.
+    stages appear in execution order.  The simulation stages also report
+    which engine produced their traces (codegen / interpreter /
+    oracle-fallback, per :mod:`repro.synth.codegen`); a cache-hit
+    simulate ran nothing, shown as ``(cached)``.
     """
     from repro.pipeline.driver import RunManifest
+    from repro.synth import codegen
 
+    notes = codegen.engine_notes()
+    engines = {
+        "simulate": ", ".join(
+            f"{tag}={engine}" for tag, engine in sorted(notes.items())
+        ),
+        "eco-simulate": notes.get("rom", ""),
+    }
     manifest = RunManifest.from_reports([report])
-    rows = [
-        [name, totals.hits, totals.misses, f"{totals.seconds:.3f}"]
-        for name, totals in manifest.stages.items()
-    ]
+    rows = []
+    for name, totals in manifest.stages.items():
+        engine = engines.get(name, "-")
+        if not engine:
+            engine = "(cached)" if totals.hits else "-"
+        rows.append(
+            [name, totals.hits, totals.misses, f"{totals.seconds:.3f}", engine]
+        )
     rows.append(["total", manifest.cache_hits, manifest.cache_misses,
-                 f"{report.seconds:.3f}"])
-    print(format_table(["stage", "hits", "misses", "seconds"], rows))
+                 f"{report.seconds:.3f}", "-"])
+    print(format_table(
+        ["stage", "hits", "misses", "seconds", "sim engine"], rows
+    ))
     print()
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
     _install_faults(args)
     fsm = _load_fsm_arg(args.file)
+    if args.profile:
+        from repro.synth import codegen
+
+        codegen.reset_engine_notes()
     result, report = evaluate_benchmark_detailed(
         fsm,
         frequencies_mhz=args.freq,
@@ -275,6 +298,89 @@ def _cmd_eval(args: argparse.Namespace) -> int:
           f" at {100 * result.achieved_idle_fraction:.0f}% idle)")
     print(f"FF fmax  : {result.ff_timing.fmax_mhz:.1f} MHz")
     print(f"EMB fmax : {result.rom_timing.fmax_mhz:.1f} MHz")
+    return 0
+
+
+def _cmd_eco(args: argparse.Namespace) -> int:
+    """``romfsm eco``: absorb a ROM-only edit without re-synthesis."""
+    import json
+
+    _install_faults(args)
+    if (args.edits is None) == (args.new is None):
+        raise CliError("provide exactly one of --edits FILE or --new FILE")
+    old = args.file if args.file in PAPER_BENCHMARKS else _load_fsm_arg(args.file)
+
+    edits = None
+    new_fsm = None
+    if args.edits is not None:
+        path = Path(args.edits)
+        if not path.exists():
+            raise CliError(f"no such edit script: {args.edits}")
+        try:
+            edits = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CliError(f"cannot read edit script {args.edits}: {exc}")
+        if not isinstance(edits, list):
+            raise CliError("an edit script is a JSON list of edit objects")
+    else:
+        new_fsm = _load_fsm_arg(args.new)
+
+    from repro.flows.eco import EcoError, eco_evaluate
+
+    if args.profile:
+        from repro.synth import codegen
+
+        codegen.reset_engine_notes()
+    try:
+        result, report = eco_evaluate(
+            old,
+            new=new_fsm,
+            edits=edits,
+            cache=_cache_spec(args),
+            old_fingerprint=args.old_fingerprint,
+            frequencies_mhz=args.freq,
+            num_cycles=args.cycles,
+            seed=args.seed,
+            backend=_resolve_backend_arg(args),
+        )
+    except (EcoError, FsmError) as exc:
+        raise CliError(str(exc))
+    if args.profile:
+        _print_eval_profile(report)
+
+    diff = result.diff
+    print(f"ECO on {result.old_fsm.name}: {diff.num_changes} transition "
+          f"change(s) ({len(diff.added)} added, {len(diff.removed)} removed, "
+          f"{len(diff.modified)} modified) "
+          f"touching {', '.join(diff.touched_states) or 'nothing'}")
+    print(f"  rewrote {result.changed_words} of {result.total_words} "
+          f"ROM words; fabric untouched")
+    print(f"  old image : {result.old_rom_fingerprint[:16]}")
+    print(f"  new image : {result.new_rom_fingerprint[:16]}")
+    rows = [
+        [f"{f:g} MHz", result.rom_power[f"{f:g}"].total_mw]
+        for f in args.freq
+    ]
+    print(format_table(["frequency", "EMB (mW)"], rows))
+    print(f"EMB fmax : {result.rom_timing.fmax_mhz:.1f} MHz")
+    if args.json:
+        payload = {
+            "name": result.new_fsm.name,
+            "diff": diff.summary(),
+            "changed_words": result.changed_words,
+            "total_words": result.total_words,
+            "old_fingerprint": result.old_rom_fingerprint,
+            "new_fingerprint": result.new_rom_fingerprint,
+            "power_mw": {
+                key: round(p.total_mw, 6)
+                for key, p in sorted(result.rom_power.items(), key=lambda kv: float(kv[0]))
+            },
+            "fmax_mhz": round(result.rom_timing.fmax_mhz, 3),
+        }
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -584,6 +690,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_options(p)
     _add_fault_options(p)
     p.set_defaults(func=_cmd_eval)
+
+    p = sub.add_parser(
+        "eco",
+        help="absorb a ROM-only FSM edit by patching the memory image "
+             "(no re-synthesis) and re-evaluating incrementally",
+    )
+    p.add_argument("file", help=".kiss2 file or paper benchmark name (the "
+                                "machine as currently deployed)")
+    p.add_argument("--edits", metavar="FILE",
+                   help="JSON edit script: a list of objects with 'state', "
+                        "'input', and either 'next'+'outputs' or 'remove'")
+    p.add_argument("--new", metavar="FILE",
+                   help="the complete edited machine as a .kiss2 file "
+                        "(alternative to --edits)")
+    p.add_argument("--old-fingerprint", metavar="FP",
+                   help="rom-map fingerprint the edit targets; mismatching "
+                        "deployments fail instead of silently re-mapping")
+    p.add_argument("--freq", type=float, nargs="+",
+                   default=list(PAPER_FREQUENCIES_MHZ))
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=2004)
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-stage timing table (warm parse/"
+                        "rom-map stages show as cache hits)")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the result summary as JSON")
+    _add_backend_option(p)
+    _add_cache_options(p)
+    _add_fault_options(p)
+    p.set_defaults(func=_cmd_eco)
 
     p = sub.add_parser(
         "cache", help="inspect or clear the content-addressed artifact cache"

@@ -8,6 +8,7 @@ stored as a state-transition graph whose edges carry ternary input cubes
 """
 
 from repro.fsm.machine import FSM, Transition, FsmError
+from repro.fsm.diff import FsmDiff, apply_edits, diff_fsm
 from repro.fsm.kiss import parse_kiss, format_kiss, load_kiss_file
 from repro.fsm.encoding import (
     StateEncoding,
@@ -56,6 +57,9 @@ __all__ = [
     "FSM",
     "Transition",
     "FsmError",
+    "FsmDiff",
+    "diff_fsm",
+    "apply_edits",
     "parse_kiss",
     "format_kiss",
     "load_kiss_file",

@@ -55,10 +55,18 @@ class StateEncoding:
             raise FsmError(f"state {state!r} has no code") from None
 
     def decode(self, code: int) -> str:
-        for state, c in self.codes.items():
-            if c == code:
-                return state
-        raise FsmError(f"code {code:#x} does not decode to any state")
+        # Memoised reverse map: decode runs once per simulated cycle, and
+        # a linear scan over the states makes it O(states * cycles).
+        by_code = self.__dict__.get("_by_code")
+        if by_code is None:
+            by_code = {c: s for s, c in self.codes.items()}
+            object.__setattr__(self, "_by_code", by_code)
+        try:
+            return by_code[code]
+        except KeyError:
+            raise FsmError(
+                f"code {code:#x} does not decode to any state"
+            ) from None
 
     def has_code(self, code: int) -> bool:
         return any(c == code for c in self.codes.values())

@@ -83,6 +83,11 @@ STAGE_VERSIONS: Dict[str, str] = {
     "power": "1",
     # flows.design's candidate-evaluation stage rides the same registry.
     "design-candidates": "1",
+    # flows.eco's incremental ECO path (paper §4.2): patch the mapped ROM
+    # image in place, re-simulate with the codegen replayer, re-estimate.
+    "eco-patch": "1",
+    "eco-simulate": "1",
+    "eco-power": "1",
 }
 
 # prep4 is the paper's explicit Fig. 3 case: "the outputs of prep4 were

@@ -31,8 +31,8 @@ from repro.logic.lutmap import LutMapping
 from repro.romfsm.clock_control import ClockControl
 from repro.romfsm.compaction import ColumnCompaction
 from repro.romfsm.contents import RomLayout, generate_contents
+from repro.synth import codegen
 from repro.synth.wordsim import (
-    evaluate_mapping_words,
     pack_bit_column,
     transpose_words,
     unpack_word,
@@ -274,22 +274,33 @@ class RomFsmImplementation:
         width = encoding.width
 
         # Trajectory guess from the STG; verified below against the ROM.
-        state = fsm.reset_state
-        codes: List[int] = [encoding.encode(state)]
+        # The codegen engine steps a tabulated STG when one fits.
+        table = (
+            codegen.stg_table(fsm, encoding)
+            if codegen.current_engine() == "codegen"
+            else None
+        )
+        codes: List[int] = [encoding.encode(fsm.reset_state)]
         ref_outs: List[int] = []
-        for input_bits in stimulus:
-            state, out = fsm.step(state, input_bits)
-            codes.append(encoding.encode(state))
-            ref_outs.append(out if layout.output_bits else 0)
+        if table is not None:
+            row = table[fsm.state_index(fsm.reset_state)]
+            want_out = bool(layout.output_bits)
+            for input_bits in stimulus:
+                idx, code, out = row[input_bits]
+                codes.append(code)
+                ref_outs.append(out if want_out else 0)
+                row = table[idx]
+        else:
+            state = fsm.reset_state
+            for input_bits in stimulus:
+                state, out = fsm.step(state, input_bits)
+                codes.append(encoding.encode(state))
+                ref_outs.append(out if layout.output_bits else 0)
 
         current_codes = codes[:num_cycles]
         mask = (1 << num_cycles) - 1
-        state_words = [
-            pack_bit_column(current_codes, b) for b in range(width)
-        ]
-        stim_words = [
-            pack_bit_column(stimulus, i) for i in range(fsm.num_inputs)
-        ]
+        state_words = codegen.pack_bit_columns(current_codes, width)
+        stim_words = codegen.pack_bit_columns(stimulus, fsm.num_inputs)
 
         def base_words() -> Dict[str, int]:
             words = {
@@ -302,8 +313,8 @@ class RomFsmImplementation:
         mux_nets: Optional[Dict[str, int]] = None
         if self.compaction is not None:
             assert self.mux_mapping is not None
-            mux_nets = evaluate_mapping_words(
-                self.mux_mapping, base_words(), mask
+            mux_nets = codegen.evaluate_words(
+                self.mux_mapping, base_words(), mask, tag="rom"
             )
             out_nets = self.mux_mapping.outputs
             compacted_list = transpose_words(
@@ -330,15 +341,15 @@ class RomFsmImplementation:
                 fb = [0] + ref_outs[:-1]
                 for o in range(fsm.num_outputs):
                     words[f"fb_out{o}"] = pack_bit_column(fb, o)
-            ctl_nets = evaluate_mapping_words(cc.mapping, words, mask)
+            ctl_nets = codegen.evaluate_words(cc.mapping, words, mask, tag="rom")
             en_word = ctl_nets[cc.mapping.outputs["en"]]
         else:
             en_word = mask
 
         moore_nets: Optional[Dict[str, int]] = None
         if self.moore_output_mapping is not None:
-            moore_nets = evaluate_mapping_words(
-                self.moore_output_mapping, base_words(), mask
+            moore_nets = codegen.evaluate_words(
+                self.moore_output_mapping, base_words(), mask, tag="rom"
             )
             out_nets = self.moore_output_mapping.outputs
             observed_list = transpose_words(
@@ -351,27 +362,57 @@ class RomFsmImplementation:
         else:
             observed_list = ref_outs
 
-        # Replay the memory reads: cheap list lookups that verify the
-        # guessed trajectory against the actual programmed words.  By
-        # induction, a full match means the per-cycle evaluator would
-        # compute exactly these states, outputs and net values.
+        # Replay the memory reads: verify the guessed trajectory against
+        # the actual programmed words.  By induction, a full match means
+        # the per-cycle evaluator would compute exactly these states,
+        # outputs and net values.  The codegen engine runs a compiled
+        # replay specialized to this word layout; the interpreted loop
+        # below is the fallback (and the engine when codegen is off).
         rom_words = self._rom.words
-        state_code = codes[0]
-        latched = 0
-        last_read: Optional[int] = None
-        enabled = 0
-        for k in range(num_cycles):
-            if en_word >> k & 1:
-                enabled += 1
-                word = rom_words[addrs[k]]
-                next_code, out_field = layout.split_word(word)
-                last_read = word
+        outcome: Optional[Tuple[int, Optional[int]]] = None
+        compiled_ok = False
+        if codegen.current_engine() == "codegen":
+            clocked = self.clock_control is not None
+            try:
+                replay = codegen.compiled_replay(clocked, layout.output_bits)
+                if clocked:
+                    full_state_words = codegen.pack_bit_columns(codes, width)
+                    out_bit_words = codegen.pack_bit_columns(
+                        ref_outs, layout.output_bits
+                    )
+                else:
+                    full_state_words = out_bit_words = []
+                outcome = replay(
+                    rom_words, addrs, codes, ref_outs,
+                    en_word, mask, full_state_words, out_bit_words,
+                )
+                compiled_ok = True
+            except Exception:
+                codegen.count_fallback()
+        if not compiled_ok:
+            state_code = codes[0]
+            latched = 0
+            last_read: Optional[int] = None
+            enabled = 0
+            for k in range(num_cycles):
+                if en_word >> k & 1:
+                    enabled += 1
+                    word = rom_words[addrs[k]]
+                    next_code, out_field = layout.split_word(word)
+                    last_read = word
+                else:
+                    next_code, out_field = state_code, latched
+                if next_code != codes[k + 1] or out_field != ref_outs[k]:
+                    break
+                state_code = next_code
+                latched = out_field
             else:
-                next_code, out_field = state_code, latched
-            if next_code != codes[k + 1] or out_field != ref_outs[k]:
-                return self.run_reference(stimulus, collect_nets)
-            state_code = next_code
-            latched = out_field
+                outcome = (enabled, last_read)
+        codegen.note_engine("rom", "codegen" if compiled_ok else "interpreter")
+        if outcome is None:
+            codegen.note_engine("rom", "oracle-fallback")
+            return self.run_reference(stimulus, collect_nets)
+        enabled, last_read = outcome
 
         # Trajectory confirmed: commit the BRAM statistics the per-cycle
         # clock() calls would have accumulated.
@@ -389,19 +430,13 @@ class RomFsmImplementation:
                     signal_toggles[f"{tag}{b}"] = toggles
 
         count_word("in", stim_words)
-        count_word(
-            "addr",
-            [pack_bit_column(addrs, b) for b in range(layout.addr_bits)],
-        )
+        count_word("addr", codegen.pack_bit_columns(addrs, layout.addr_bits))
         count_word("en", [en_word])
         q_list = [
             layout.make_word(codes[k + 1], ref_outs[k])
             for k in range(num_cycles)
         ]
-        count_word(
-            "q",
-            [pack_bit_column(q_list, b) for b in range(layout.data_bits)],
-        )
+        count_word("q", codegen.pack_bit_columns(q_list, layout.data_bits))
 
         def net_toggle_counts(nets: Optional[Dict[str, int]]) -> Dict[str, int]:
             counts: Dict[str, int] = {}
@@ -555,6 +590,7 @@ class RomFsmImplementation:
             raise FsmError("ECO rewrite cannot add or remove states")
         if new_fsm.reset_state != self.fsm.reset_state:
             raise FsmError("ECO rewrite cannot move the reset state")
+        new_fsm.validate()
         if self.moore_output_mapping is not None:
             raise FsmError(
                 "outputs are baked into fabric LUTs (Moore/Fig. 3); "

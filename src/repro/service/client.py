@@ -167,6 +167,40 @@ class ServiceClient:
             body["name"] = name
         return self._json("POST", "/v1/map", body)
 
+    def eco(
+        self,
+        benchmark: Optional[str] = None,
+        kiss: Optional[str] = None,
+        name: Optional[str] = None,
+        edits: Optional[Sequence[Dict[str, Any]]] = None,
+        new_kiss: Optional[str] = None,
+        old_fingerprint: Optional[str] = None,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        """POST /v1/eco: absorb a ROM-only edit without re-synthesis.
+
+        Provide the old machine (``benchmark`` or ``kiss``) plus exactly
+        one of ``edits`` (a declarative edit script, see
+        :func:`repro.fsm.diff.apply_edits`) or ``new_kiss`` (the full
+        edited machine).  ``old_fingerprint`` — the ``old_fingerprint``
+        of a previous eco/evaluate answer — makes the server reject the
+        edit if the deployed ROM image is not the one it targets.
+        """
+        body: Dict[str, Any] = dict(options)
+        if benchmark is not None:
+            body["benchmark"] = benchmark
+        if kiss is not None:
+            body["kiss"] = kiss
+        if name is not None:
+            body["name"] = name
+        if edits is not None:
+            body["edits"] = list(edits)
+        if new_kiss is not None:
+            body["new_kiss"] = new_kiss
+        if old_fingerprint is not None:
+            body["old_fingerprint"] = old_fingerprint
+        return self._json("POST", "/v1/eco", body)
+
     def batch_stream(
         self, items: Sequence[Dict[str, Any]]
     ) -> Iterator[Dict[str, Any]]:

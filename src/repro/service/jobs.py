@@ -42,6 +42,7 @@ from repro.romfsm.mapper import map_fsm_to_rom
 __all__ = [
     "Job",
     "JobError",
+    "eco_payload",
     "evaluate_payload",
     "map_payload",
     "parse_job",
@@ -52,6 +53,7 @@ __all__ = [
 MAX_CYCLES = 200_000
 MAX_FREQUENCIES = 16
 MAX_BATCH_ITEMS = 256
+MAX_EDITS = 1024
 
 _EVALUATE_FIELDS = {
     "kind", "benchmark", "kiss", "name", "frequencies_mhz", "num_cycles",
@@ -60,6 +62,10 @@ _EVALUATE_FIELDS = {
 _MAP_FIELDS = {
     "kind", "benchmark", "kiss", "name", "clock_control", "moore_outputs",
     "force_compaction", "backend",
+}
+_ECO_FIELDS = {
+    "kind", "benchmark", "kiss", "name", "edits", "new_kiss", "new_name",
+    "old_fingerprint", "frequencies_mhz", "num_cycles", "seed", "backend",
 }
 _ENCODINGS = ("binary", "gray", "one-hot", "johnson")
 _MOORE_MODES = ("auto", "external", "internal")
@@ -72,12 +78,17 @@ class JobError(ValueError):
         super().__init__(message)
         self.reason = reason
 
+    def __reduce__(self):
+        # Preserve ``reason`` across the process-pool boundary (the
+        # default exception reduce only carries ``args``).
+        return (JobError, (self.args[0] if self.args else "", self.reason))
+
 
 @dataclass(frozen=True)
 class Job:
     """One validated request, keyed by its canonical content fingerprint."""
 
-    kind: str                      # "evaluate" | "map"
+    kind: str                      # "evaluate" | "map" | "eco"
     key: str                       # coalescing/cache identity
     source: str                    # benchmark name or "kiss2:<fsm name>"
     spec: Dict[str, Any] = field(compare=False)
@@ -160,7 +171,11 @@ def parse_job(body: Any, kind: str = "evaluate") -> Job:
         return _parse_evaluate(body)
     if kind == "map":
         return _parse_map(body)
-    raise JobError(f"unknown job kind {kind!r} (expected 'evaluate' or 'map')")
+    if kind == "eco":
+        return _parse_eco(body)
+    raise JobError(
+        f"unknown job kind {kind!r} (expected 'evaluate', 'map' or 'eco')"
+    )
 
 
 def _parse_evaluate(body: Dict[str, Any]) -> Job:
@@ -230,6 +245,117 @@ def _parse_map(body: Dict[str, Any]) -> Job:
     return Job(
         kind="map",
         key=fingerprint(("map", key_spec)),
+        source=source,
+        spec=spec,
+    )
+
+
+def _parse_eco(body: Dict[str, Any]) -> Job:
+    """Validate a ``POST /v1/eco`` body (old machine + edit script).
+
+    The edited machine is materialized *here* — the edit script is
+    applied (or the full replacement KISS2 parsed) at validation time —
+    so a malformed or non-ROM-only edit is a 400 before any executor
+    slot is spent on it.  Envelope violations only the mapped
+    implementation can detect (external Moore LUTs, compaction columns)
+    still surface from the pipeline as ``eco_rejected``.
+    """
+    unknown = set(body) - _ECO_FIELDS
+    if unknown:
+        raise JobError(f"unknown field(s) for eco: {sorted(unknown)}")
+    source, name_or_fsm = _require_fsm_source(body)
+    if isinstance(name_or_fsm, str):
+        from repro.bench.suite import load_benchmark
+
+        old_fsm = load_benchmark(name_or_fsm)
+    else:
+        old_fsm = name_or_fsm
+
+    edits = body.get("edits")
+    new_kiss = body.get("new_kiss")
+    if (edits is None) == (new_kiss is None):
+        raise JobError(
+            "eco needs exactly one of 'edits' (an edit script) or "
+            "'new_kiss' (the full edited machine)"
+        )
+    if edits is not None:
+        if not isinstance(edits, list) or not edits:
+            raise JobError("'edits' must be a non-empty list of edit objects")
+        if len(edits) > MAX_EDITS:
+            raise JobError(
+                f"edit script of {len(edits)} entries exceeds the "
+                f"{MAX_EDITS}-entry limit",
+                reason="oversized",
+            )
+        from repro.fsm.diff import apply_edits
+
+        try:
+            new_fsm = apply_edits(old_fsm, edits)
+            new_fsm.validate()
+        except FsmError as exc:
+            raise JobError(f"bad edit script: {exc}", reason="bad_edit")
+    else:
+        if not isinstance(new_kiss, str) or not new_kiss.strip():
+            raise JobError("'new_kiss' must be non-empty KISS2 text")
+        new_name = body.get("new_name", old_fsm.name)
+        if not isinstance(new_name, str) or not new_name:
+            raise JobError("'new_name' must be a non-empty string")
+        try:
+            new_fsm = parse_kiss(new_kiss, name=new_name)
+            new_fsm.validate()
+        except FsmError as exc:
+            raise JobError(f"unparseable 'new_kiss' text: {exc}", reason="bad_kiss")
+
+    from repro.fsm.diff import diff_fsm
+
+    diff = diff_fsm(old_fsm, new_fsm)
+    if not diff.rom_only:
+        raise JobError(
+            f"edit is not ROM-only; a full re-evaluation is required: "
+            f"{diff.summary()}",
+            reason="eco_rejected",
+        )
+
+    old_fingerprint = body.get("old_fingerprint")
+    if old_fingerprint is not None and (
+        not isinstance(old_fingerprint, str) or not old_fingerprint
+    ):
+        raise JobError("'old_fingerprint' must be a non-empty string")
+
+    frequencies = body.get("frequencies_mhz", list(PAPER_FREQUENCIES_MHZ))
+    if (
+        not isinstance(frequencies, (list, tuple))
+        or not frequencies
+        or len(frequencies) > MAX_FREQUENCIES
+        or not all(
+            isinstance(f, (int, float)) and not isinstance(f, bool) and 0 < f <= 10_000
+            for f in frequencies
+        )
+    ):
+        raise JobError(
+            "'frequencies_mhz' must be 1.."
+            f"{MAX_FREQUENCIES} frequencies in (0, 10000] MHz"
+        )
+    spec = {
+        "name_or_fsm": name_or_fsm,
+        "new_fsm": new_fsm,
+        "old_fingerprint": old_fingerprint,
+        "frequencies_mhz": tuple(float(f) for f in frequencies),
+        "num_cycles": _number(body, "num_cycles", 2000, 1, MAX_CYCLES, integer=True),
+        "seed": _number(body, "seed", 2004, 0, 2**63 - 1, integer=True),
+        "backend": _backend(body),
+    }
+    from repro.fsm.kiss import format_kiss
+
+    key_spec = dict(spec)
+    if isinstance(name_or_fsm, FSM):
+        key_spec["name_or_fsm"] = (
+            "kiss2", name_or_fsm.name, format_kiss(name_or_fsm)
+        )
+    key_spec["new_fsm"] = ("kiss2", new_fsm.name, format_kiss(new_fsm))
+    return Job(
+        kind="eco",
+        key=fingerprint(("eco", key_spec)),
         source=source,
         spec=spec,
     )
@@ -360,6 +486,39 @@ def map_payload(impl) -> Dict[str, Any]:
     return payload
 
 
+def eco_payload(result) -> Dict[str, Any]:
+    """JSON-ready description of one incremental ECO run.
+
+    ``old_fingerprint``/``new_fingerprint`` are the ``rom-map`` and
+    ``eco-patch`` stage fingerprints: quote the former back as
+    ``old_fingerprint`` on a later request to assert the edit still
+    targets the image it was built against.
+    """
+    frequencies = sorted(result.rom_power, key=float)
+    impl = result.impl
+    return {
+        "name": result.new_fsm.name,
+        "diff": result.diff.summary(),
+        "changed_words": result.changed_words,
+        "total_words": result.total_words,
+        "old_fingerprint": result.old_rom_fingerprint,
+        "new_fingerprint": result.new_rom_fingerprint,
+        "rom": {
+            "backend": impl.backend_model.name,
+            "bram_config": impl.config.name,
+            "brams": impl.num_brams,
+            "addr_bits": impl.layout.addr_bits,
+            "data_bits": impl.layout.data_bits,
+            "lut_overhead": impl.utilization.luts,
+        },
+        "power_mw": {
+            key: {"rom_mw": _round(result.rom_power[key].total_mw)}
+            for key in frequencies
+        },
+        "fmax_mhz": {"rom": _round(result.rom_timing.fmax_mhz, 3)},
+    }
+
+
 def run_job(
     job: Job,
     cache: Any = None,
@@ -408,4 +567,23 @@ def run_job(
             backend=spec["backend"],
         )
         return map_payload(impl), []
+    if job.kind == "eco":
+        from repro.flows.eco import EcoError, eco_evaluate
+
+        spec = job.spec
+        try:
+            result, report = eco_evaluate(
+                spec["name_or_fsm"],
+                new=spec["new_fsm"],
+                cache=cache,
+                should_cancel=should_cancel,
+                old_fingerprint=spec["old_fingerprint"],
+                frequencies_mhz=spec["frequencies_mhz"],
+                num_cycles=spec["num_cycles"],
+                seed=spec["seed"],
+                backend=spec["backend"],
+            )
+        except EcoError as exc:
+            raise JobError(str(exc), reason="eco_rejected") from exc
+        return eco_payload(result), list(report.records)
     raise JobError(f"unknown job kind {job.kind!r}")

@@ -253,7 +253,7 @@ class CompileServer:
                     return
                 base = http.split_query(request.path)[0]
                 if base not in ("/healthz", "/metrics", "/v1/evaluate",
-                                "/v1/map", "/v1/batch"):
+                                "/v1/map", "/v1/eco", "/v1/batch"):
                     base = "other"  # bound the metrics label cardinality
                 route = f"{request.method} {base}"
                 if base == "/v1/batch" and request.method == "POST":
@@ -321,7 +321,7 @@ class CompileServer:
                 body=self.render_metrics().encode("utf-8"),
                 content_type="text/plain; version=0.0.4",
             )
-        if path in ("/v1/evaluate", "/v1/map"):
+        if path in ("/v1/evaluate", "/v1/map", "/v1/eco"):
             if request.method != "POST":
                 return http.error_response(405, "use POST", "bad_method")
             return await self._handle_job(request, kind=path.rsplit("/", 1)[1])
@@ -813,6 +813,26 @@ class CompileServer:
             lines.append(
                 f"romfsm_cache_io_errors_total {self._cache.stats.io_errors}"
             )
+        # Simulation-engine health (authoritative for the thread
+        # executor; process-pool workers hold their own counters).
+        from repro.synth import codegen
+
+        cg = codegen.stats()
+        lines.append(
+            "# HELP romfsm_codegen_fallbacks_total Simulations where the "
+            "compiled engine failed and the interpreter took over.")
+        lines.append("# TYPE romfsm_codegen_fallbacks_total counter")
+        lines.append(f"romfsm_codegen_fallbacks_total {cg.fallbacks}")
+        lines.append(
+            "# HELP romfsm_codegen_compiles_total Netlist/replay functions "
+            "compiled (memo and disk misses).")
+        lines.append("# TYPE romfsm_codegen_compiles_total counter")
+        lines.append(f"romfsm_codegen_compiles_total {cg.compiles}")
+        lines.append(
+            "# HELP romfsm_codegen_calls_total Word-parallel netlist "
+            "evaluations answered by the compiled engine.")
+        lines.append("# TYPE romfsm_codegen_calls_total counter")
+        lines.append(f"romfsm_codegen_calls_total {cg.calls}")
         return self.metrics.render(extra_lines=lines)
 
 

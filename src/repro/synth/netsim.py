@@ -22,11 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.synth import codegen
 from repro.synth.ff_synth import FfImplementation
 from repro.synth.wordsim import (
-    evaluate_mapping_words,
     pack_bit_column,
     popcount,
+    transpose_words,
     word_toggles,
 )
 
@@ -85,6 +86,17 @@ def simulate_ff_netlist(
     if num_cycles == 0:
         return simulate_ff_netlist_reference(impl, stimulus)
 
+    if codegen.current_engine() == "codegen":
+        try:
+            trace = _simulate_ff_codegen(impl, stimulus)
+        except Exception:
+            codegen.count_fallback()
+        else:
+            if trace is not None:
+                return trace
+            codegen.note_engine("ff", "oracle-fallback")
+            return simulate_ff_netlist_reference(impl, stimulus)
+
     fsm = impl.fsm
     encoding = impl.encoding
     width = encoding.width
@@ -108,7 +120,7 @@ def simulate_ff_netlist(
         input_words[f"in{i}"] = pack_bit_column(stimulus, i)
 
     mask = (1 << num_cycles) - 1
-    nets = evaluate_mapping_words(impl.mapping, input_words, mask)
+    nets = codegen.evaluate_words(impl.mapping, input_words, mask, tag="ff")
 
     # Verify the STG-derived trajectory against the netlist's own
     # next-state outputs; by induction equality here means the per-cycle
@@ -118,6 +130,7 @@ def simulate_ff_netlist(
     next_codes = codes[1:]
     for i in range(width):
         if nets[out_nets[f"ns{i}"]] != pack_bit_column(next_codes, i):
+            codegen.note_engine("ff", "oracle-fallback")
             return simulate_ff_netlist_reference(impl, stimulus)
 
     output_words = [nets[out_nets[f"out{i}"]] for i in range(fsm.num_outputs)]
@@ -143,6 +156,89 @@ def simulate_ff_netlist(
         num_cycles=num_cycles,
         output_stream=outputs,
         state_stream=[encoding.decode(code) for code in codes],
+        net_toggles=net_toggles,
+        ff_output_toggles=ff_toggles,
+    )
+
+
+def _simulate_ff_codegen(
+    impl: FfImplementation, stimulus: List[int]
+) -> "NetlistTrace | None":
+    """The codegen-engine fast path (same contract, same results).
+
+    Differences from the interpreter path are mechanical, not
+    semantic: the trajectory steps a tabulated STG when one fits
+    (:func:`repro.synth.codegen.stg_table`), bit columns pack through
+    :func:`repro.synth.codegen.pack_bit_columns`, the netlist is the
+    compiled straight-line function, and the output stream is rebuilt
+    with the sparse :func:`~repro.synth.wordsim.transpose_words`.
+    Returns ``None`` when the netlist disagrees with the STG-derived
+    trajectory (the caller then runs the per-cycle oracle) and raises
+    on any internal failure (the caller then falls back to the
+    interpreter engine and counts the fallback).
+    """
+    num_cycles = len(stimulus)
+    fsm = impl.fsm
+    encoding = impl.encoding
+    width = encoding.width
+    in_limit = (1 << fsm.num_inputs) - 1
+
+    table = codegen.stg_table(fsm, encoding)
+    if table is not None:
+        row = table[fsm.state_index(fsm.reset_state)]
+        codes = [encoding.encode(fsm.reset_state)]
+        append = codes.append
+        for input_bits in stimulus:
+            idx, code, _out = row[input_bits & in_limit]
+            append(code)
+            row = table[idx]
+    else:
+        state = fsm.reset_state
+        codes = [encoding.encode(state)]
+        for input_bits in stimulus:
+            state, _ = fsm.step(state, input_bits & in_limit)
+            codes.append(encoding.encode(state))
+
+    # One pack over all num_cycles + 1 samples per state bit: bits
+    # 0..n-1 are the codes *during* each cycle, the word shifted right
+    # by one gives the next-state column the verification needs.
+    full_words = codegen.pack_bit_columns(codes, width)
+    stim_words = codegen.pack_bit_columns(stimulus, fsm.num_inputs)
+
+    mask = (1 << num_cycles) - 1
+    input_words: Dict[str, int] = {
+        encoding.bit_name(b): full_words[b] & mask for b in range(width)
+    }
+    for i in range(fsm.num_inputs):
+        input_words[f"in{i}"] = stim_words[i]
+
+    nets = codegen.evaluate_words(impl.mapping, input_words, mask, tag="ff")
+
+    out_nets = impl.mapping.outputs
+    for b in range(width):
+        if nets[out_nets[f"ns{b}"]] != (full_words[b] >> 1) & mask:
+            return None
+
+    outputs = transpose_words(
+        [nets[out_nets[f"out{i}"]] for i in range(fsm.num_outputs)],
+        num_cycles,
+    )
+
+    net_toggles: Dict[str, int] = {}
+    for name, word in nets.items():
+        toggles = word_toggles(word, num_cycles)
+        if toggles:
+            net_toggles[name] = toggles
+
+    ff_toggles = 0
+    for word in full_words:
+        ff_toggles += word_toggles(word, num_cycles + 1)
+
+    decode = {encoding.encode(s): s for s in fsm.states}
+    return NetlistTrace(
+        num_cycles=num_cycles,
+        output_stream=outputs,
+        state_stream=[decode[code] for code in codes],
         net_toggles=net_toggles,
         ff_output_toggles=ff_toggles,
     )

@@ -1,0 +1,128 @@
+"""The compiled ROM replay must equal the per-cycle oracle everywhere.
+
+Same contract as ``test_impl_wordparallel`` but with the ``codegen``
+engine forced: :meth:`RomFsmImplementation.run` dispatches the replay
+loop to a compiled function, and every observable must stay identical
+to :meth:`run_reference` for every mapper configuration, both memory
+fabrics, and word widths across the packing edge cases — with the
+fallback counter untouched (the CI guard watches it).
+"""
+
+import pytest
+
+from repro.bench.generator import generate_fsm
+from repro.fsm.simulate import idle_biased_stimulus, random_stimulus
+from repro.romfsm.mapper import map_fsm_to_rom
+from repro.synth import codegen
+from tests.romfsm.test_equivalence_properties import _make_spec
+from tests.romfsm.test_impl_wordparallel import (
+    CONFIGS,
+    assert_rom_traces_equal,
+)
+
+BACKENDS = ["virtex2-bram", "reram-1t1r"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_codegen_state():
+    codegen.clear_compilation_cache()
+    codegen.reset_stats()
+    codegen.reset_engine_notes()
+    yield
+    codegen.clear_compilation_cache()
+    codegen.reset_stats()
+    codegen.reset_engine_notes()
+
+
+def run_both_codegen(fsm, stim, collect_nets=True, **mapper_kwargs):
+    fast_impl = map_fsm_to_rom(fsm, **mapper_kwargs)
+    ref_impl = map_fsm_to_rom(fsm, **mapper_kwargs)
+    with codegen.use_engine("codegen"):
+        fast = fast_impl.run(stim, collect_nets=collect_nets)
+    ref = ref_impl.run_reference(stim, collect_nets=collect_nets)
+    assert_rom_traces_equal(fast, ref)
+    assert fast_impl._rom.total_edges == ref_impl._rom.total_edges
+    assert fast_impl._rom.enabled_edges == ref_impl._rom.enabled_edges
+    assert fast_impl._rom.output == ref_impl._rom.output
+    assert codegen.stats().fallbacks == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("config", CONFIGS,
+                         ids=lambda c: "-".join(sorted(c)) or "plain")
+@pytest.mark.parametrize("moore", [False, True])
+def test_matches_reference_across_configs_and_backends(config, moore, backend):
+    if config.get("moore_outputs") == "external" and not moore:
+        pytest.skip("external output placement requires a Moore machine")
+    fsm = generate_fsm(_make_spec(9, 3, 3, 0, 2, 0.5, 0.35, moore, seed=11))
+    stim = random_stimulus(fsm.num_inputs, 120, seed=3)
+    run_both_codegen(fsm, stim, backend=backend, **config)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("cycles", [0, 1, 2, 3, 17, 64, 65, 200])
+def test_matches_reference_across_word_widths(cycles, backend):
+    fsm = generate_fsm(_make_spec(6, 2, 2, 0, 2, 0.6, 0.4, False, seed=5))
+    stim = random_stimulus(fsm.num_inputs, cycles, seed=cycles)
+    run_both_codegen(fsm, stim, clock_control=True, backend=backend)
+
+
+def test_matches_reference_on_idle_biased_stimulus():
+    fsm = generate_fsm(_make_spec(8, 3, 2, 0, 2, 0.5, 0.6, False, seed=23))
+    stim = idle_biased_stimulus(fsm, 150, idle_fraction=0.6, seed=4)
+    run_both_codegen(fsm, stim, clock_control=True)
+
+
+def test_engines_agree_on_identical_trace():
+    fsm = generate_fsm(_make_spec(9, 3, 3, 0, 2, 0.5, 0.35, False, seed=2))
+    stim = random_stimulus(fsm.num_inputs, 180, seed=5)
+    fast_impl = map_fsm_to_rom(fsm, clock_control=True)
+    slow_impl = map_fsm_to_rom(fsm, clock_control=True)
+    with codegen.use_engine("codegen"):
+        fast = fast_impl.run(stim)
+    with codegen.use_engine("interpreter"):
+        slow = slow_impl.run(stim)
+    assert_rom_traces_equal(fast, slow)
+
+
+def test_rom_engine_note_records_serving_engine():
+    fsm = generate_fsm(_make_spec(5, 2, 2, 0, 2, 0.5, 0.3, False, seed=1))
+    stim = random_stimulus(fsm.num_inputs, 50, seed=0)
+    with codegen.use_engine("codegen"):
+        map_fsm_to_rom(fsm).run(stim)
+    assert codegen.engine_notes().get("rom") == "codegen"
+    with codegen.use_engine("interpreter"):
+        map_fsm_to_rom(fsm).run(stim)
+    assert codegen.engine_notes().get("rom") == "interpreter"
+
+
+def test_out_of_range_input_raises_under_codegen():
+    fsm = generate_fsm(_make_spec(5, 2, 2, 0, 2, 0.5, 0.3, False, seed=2))
+    fast_impl = map_fsm_to_rom(fsm)
+    ref_impl = map_fsm_to_rom(fsm)
+    stim = [1, 2, 1 << fsm.num_inputs, 0]
+    with codegen.use_engine("codegen"):
+        with pytest.raises(ValueError):
+            fast_impl.run(stim)
+    with pytest.raises(ValueError):
+        ref_impl.run_reference(stim)
+    assert fast_impl._rom.total_edges == ref_impl._rom.total_edges
+    assert fast_impl._rom.enabled_edges == ref_impl._rom.enabled_edges
+
+
+@pytest.mark.parametrize("name", ["dk14", "planet", "styr"])
+def test_paper_benchmarks_never_fall_back(name):
+    # The CI guard asserts romfsm_codegen_fallbacks_total == 0 over the
+    # Tier-1 suite; this is the in-tree early warning for it.
+    from repro.bench.suite import load_benchmark
+
+    fsm = load_benchmark(name)
+    stim = random_stimulus(fsm.num_inputs, 200, seed=9)
+    for kwargs in (dict(), dict(clock_control=True)):
+        impl = map_fsm_to_rom(fsm, **kwargs)
+        ref = map_fsm_to_rom(fsm, **kwargs)
+        with codegen.use_engine("codegen"):
+            fast = impl.run(stim)
+        assert_rom_traces_equal(fast, ref.run_reference(stim))
+    assert codegen.stats().fallbacks == 0
+    assert codegen.engine_notes().get("rom") == "codegen"
