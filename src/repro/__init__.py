@@ -23,6 +23,7 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.power`  — XPower-style activity-based power estimation
 - :mod:`repro.bench`  — statistics-matched MCNC/PREP benchmark set
 - :mod:`repro.overlay` — multi-FSM packing into shared memory blocks
+- :mod:`repro.tune`   — multi-objective search over mapper configurations
 - :mod:`repro.flows`  — end-to-end experiments and the paper's tables
 """
 
@@ -60,6 +61,13 @@ from repro.overlay import (
     pack_overlay,
     run_overlay,
     build_overlay_report,
+)
+from repro.tune import (
+    TuneResult,
+    load_frontier,
+    replay_point,
+    tune_benchmark,
+    tune_many,
 )
 
 __version__ = "1.0.0"
@@ -99,5 +107,10 @@ __all__ = [
     "pack_overlay",
     "run_overlay",
     "build_overlay_report",
+    "TuneResult",
+    "load_frontier",
+    "replay_point",
+    "tune_benchmark",
+    "tune_many",
     "__version__",
 ]

@@ -7,6 +7,10 @@ Subcommands mirror the paper's artifacts::
     romfsm map FILE.kiss2|BENCH [--clock-control] [--backend NAME]
                   [--vhdl OUT.vhd]
     romfsm eval FILE.kiss2|BENCH [--freq MHZ ...] [--backend NAME]
+                  [--tuned FRONTIER.json [--tuned-point N]]
+    romfsm tune FILE.kiss2|BENCH [--jobs N] [--out FRONTIER.json]
+                  [--backend NAME] [--no-prune]   # Pareto search over
+                                                  # mapper configurations
     romfsm eco FILE.kiss2|BENCH --edits FILE.json|--new FILE.kiss2
                   [--old-fingerprint FP]       # patch ROM words in place
     romfsm overlay FSM FSM ... [--max-blocks N] [--backend NAME]
@@ -58,6 +62,10 @@ from repro.pipeline.cache import DEFAULT_CACHE_DIR, resolve_cache
 from repro.power.report import format_table
 from repro.romfsm.mapper import map_fsm_to_rom
 from repro.romfsm.vhdl import rom_fsm_vhdl, rom_fsm_vhdl_structural
+from repro.tune.fitness import (
+    DEFAULT_TUNE_CYCLES,
+    DEFAULT_TUNE_FREQUENCY_MHZ,
+)
 
 __all__ = ["main"]
 
@@ -258,9 +266,79 @@ def _print_eval_profile(report) -> None:
     print()
 
 
+def _load_tuned_point(args: argparse.Namespace):
+    """Resolve ``eval --tuned FRONTIER.json [--tuned-point N]``.
+
+    Returns (TuneResult, FrontierPoint, index).  Missing files, foreign
+    JSON, and out-of-range indices are one-line :class:`CliError`\\ s.
+    """
+    import json
+
+    from repro.tune import load_frontier
+
+    path = Path(args.tuned)
+    if not path.exists():
+        raise CliError(f"no such frontier artifact: {args.tuned}")
+    try:
+        result = load_frontier(path)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise CliError(f"cannot read frontier artifact {args.tuned}: {exc}")
+    if not result.frontier:
+        raise CliError(f"frontier artifact {args.tuned} has no points")
+    if args.tuned_point is None:
+        point = result.best_power
+        index = result.frontier.index(point)
+    else:
+        if not 0 <= args.tuned_point < len(result.frontier):
+            raise CliError(
+                f"--tuned-point {args.tuned_point} is out of range "
+                f"(frontier has {len(result.frontier)} point(s))"
+            )
+        index = args.tuned_point
+        point = result.frontier[index]
+    return result, point, index
+
+
 def _cmd_eval(args: argparse.Namespace) -> int:
     _install_faults(args)
     fsm = _load_fsm_arg(args.file)
+
+    tuned_kwargs = {}
+    tuned_note = None
+    if args.tuned:
+        tuned, point, index = _load_tuned_point(args)
+        if tuned.benchmark != fsm.name:
+            raise CliError(
+                f"frontier artifact {args.tuned} was tuned for "
+                f"{tuned.benchmark!r}, not {fsm.name!r}"
+            )
+        if args.backend is None:
+            args.backend = tuned.backend
+        elif args.backend != tuned.backend:
+            print(
+                f"romfsm: warning: frontier was tuned on {tuned.backend}, "
+                f"evaluating on {args.backend}",
+                file=sys.stderr,
+            )
+        c = point.candidate
+        tuned_kwargs = {
+            "rom_encoding": c.encoding,
+            "force_compaction": c.force_compaction,
+            "aspect": c.aspect,
+            "moore_outputs": c.moore_outputs,
+            "lut_k": c.lut_k,
+        }
+        tuned_note = (
+            f"[tuned] mapper config from {args.tuned} point {index}: "
+            f"encoding={c.encoding} moore={c.moore_outputs} "
+            f"compaction={'yes' if c.force_compaction else 'no'} "
+            f"aspect={c.aspect or 'auto'} "
+            f"cc={'yes' if c.clock_control else 'no'} "
+            f"(candidate {c.fingerprint[:16]}, tuned "
+            f"{point.power_mw:.4f} mW @ "
+            f"{point.fitness.get('frequency_mhz', 0):g} MHz on "
+            f"{tuned.backend})"
+        )
     if args.profile:
         from repro.synth import codegen
 
@@ -273,8 +351,11 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         seed=args.seed,
         cache=_cache_spec(args),
         backend=_resolve_backend_arg(args),
+        **tuned_kwargs,
     )
     if args.profile:
+        if tuned_note is not None:
+            print(tuned_note)
         _print_eval_profile(report)
     rows = []
     for f in args.freq:
@@ -298,6 +379,47 @@ def _cmd_eval(args: argparse.Namespace) -> int:
           f" at {100 * result.achieved_idle_fraction:.0f}% idle)")
     print(f"FF fmax  : {result.ff_timing.fmax_mhz:.1f} MHz")
     print(f"EMB fmax : {result.rom_timing.fmax_mhz:.1f} MHz")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """``romfsm tune``: Pareto search over mapper configurations."""
+    _install_faults(args)
+    from repro.tune import tune_benchmark
+
+    # A suite benchmark is passed by name so the tuner's parse artifact
+    # is the same one `romfsm eval`/`tables` cache (mirrors `eco`).
+    target = (
+        args.file if args.file in PAPER_BENCHMARKS else _load_fsm_arg(args.file)
+    )
+    try:
+        result = tune_benchmark(
+            target,
+            backend=_resolve_backend_arg(args),
+            jobs=args.jobs,
+            cache=_cache_spec(args),
+            num_cycles=args.cycles,
+            seed=args.seed,
+            frequency_mhz=args.frequency,
+            prune=not args.no_prune,
+        )
+    except FsmError as exc:
+        raise CliError(str(exc))
+    print(result.format_table())
+    s = result.stats
+    print(
+        f"\n[search] {s['candidates']} candidates -> {s['structures']} "
+        f"unique implementations ({s['deduped']} deduped, "
+        f"{s['infeasible']} infeasible); {s['pruned']} pruned by exact "
+        f"bound, {s['evaluated']} evaluated "
+        f"({s['fitness_cache_hits']} fitness cache hit(s)) in "
+        f"{s['wall_seconds']:.2f}s ({s['candidates_per_sec']:.1f} "
+        f"candidates/s, jobs={s['jobs']})",
+        file=sys.stderr,
+    )
+    if args.out:
+        path = result.write(args.out)
+        print(f"wrote {path}")
     return 0
 
 
@@ -686,10 +808,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="print a per-stage timing table (cache hits/"
                         "misses and seconds) before the power numbers")
+    p.add_argument("--tuned", metavar="FRONTIER.json",
+                   help="apply a mapper configuration from a stored tune "
+                        "frontier artifact (see `romfsm tune --out`)")
+    p.add_argument("--tuned-point", type=int, default=None, metavar="N",
+                   help="frontier point index to apply (default: the "
+                        "minimum-power point)")
     _add_backend_option(p)
     _add_cache_options(p)
     _add_fault_options(p)
     p.set_defaults(func=_cmd_eval)
+
+    p = sub.add_parser(
+        "tune",
+        help="search encoding/mapper configurations for the Pareto-"
+             "optimal power/area/timing points (deterministic: same "
+             "seed gives a byte-identical frontier at any --jobs)",
+    )
+    p.add_argument("file", help=".kiss2 file or paper benchmark name")
+    p.add_argument("--cycles", type=int, default=DEFAULT_TUNE_CYCLES,
+                   help=f"tuning stimulus length (default "
+                        f"{DEFAULT_TUNE_CYCLES})")
+    p.add_argument("--seed", type=int, default=2004)
+    p.add_argument("--frequency", type=float, metavar="MHZ",
+                   default=DEFAULT_TUNE_FREQUENCY_MHZ,
+                   help=f"clock for the power objective (default "
+                        f"{DEFAULT_TUNE_FREQUENCY_MHZ:g})")
+    p.add_argument("--out", metavar="FILE",
+                   help="write the replayable frontier artifact as JSON")
+    p.add_argument("--no-prune", action="store_true",
+                   help="evaluate the whole deduped grid instead of "
+                        "bound-pruning dominated regions (same frontier, "
+                        "slower; the brute-force reference)")
+    _add_backend_option(p)
+    _add_pipeline_options(p)
+    _add_fault_options(p)
+    p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser(
         "eco",

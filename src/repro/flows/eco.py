@@ -219,7 +219,8 @@ def build_eco_pipeline() -> Pipeline:
         make_stage("parse", _stage_parse, (),
                ("benchmark", "kiss", "name", "states", "reset")),
         make_stage("rom-map", _stage_rom_map, ("parse",),
-               ("moore_outputs", "backend")),
+               ("moore_outputs", "backend", "rom_encoding",
+                "force_compaction", "aspect", "lut_k")),
         make_stage("eco-patch", _stage_eco_patch, ("parse", "rom-map"),
                ("eco_kiss", "eco_name", "eco_states", "eco_reset")),
         make_stage("eco-simulate", _stage_eco_simulate, ("eco-patch",),

@@ -116,6 +116,11 @@ def evaluation_config(
     with_clock_control: bool = True,
     verify: bool = True,
     backend: Union[None, str, MemoryBlockModel] = None,
+    rom_encoding: Optional[str] = None,
+    force_compaction: bool = False,
+    aspect: Optional[str] = None,
+    moore_outputs: Optional[str] = None,
+    lut_k: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Build the pipeline config dict for one benchmark evaluation.
 
@@ -125,6 +130,11 @@ def evaluation_config(
     memory-block technology, see :mod:`repro.arch.memblock`) is stored
     as its resolved canonical name, so the default and an explicit
     ``"virtex2-bram"`` share cache entries and coalesce as one job.
+
+    ``rom_encoding``/``force_compaction``/``aspect`` plumb a tuned
+    mapper configuration (e.g. a :mod:`repro.tune` frontier point) into
+    the ``rom-map``/``rom-cc`` stages; the defaults reproduce the
+    paper's fixed heuristic bit-for-bit.
     """
     config: Dict[str, Any] = {
         "frequencies": tuple(float(f) for f in frequencies_mhz),
@@ -137,7 +147,17 @@ def evaluation_config(
         "with_clock_control": with_clock_control,
         "verify": verify,
         "backend": resolve_backend(backend).name,
+        "rom_encoding": rom_encoding,
+        "force_compaction": bool(force_compaction),
+        "aspect": aspect,
     }
+    # Stored only when they deviate from the paper defaults, so cache
+    # keys (which read absent keys as None) are unchanged for every
+    # pre-existing artifact.
+    if moore_outputs is not None:
+        config["moore_outputs"] = moore_outputs
+    if lut_k is not None and int(lut_k) != 4:
+        config["lut_k"] = int(lut_k)
     if isinstance(name_or_fsm, str):
         config["benchmark"] = name_or_fsm
     else:
@@ -202,6 +222,11 @@ def evaluate_benchmark(
     verify: bool = True,
     cache: Union[None, bool, str, ArtifactCache] = None,
     backend: Union[None, str, MemoryBlockModel] = None,
+    rom_encoding: Optional[str] = None,
+    force_compaction: bool = False,
+    aspect: Optional[str] = None,
+    moore_outputs: Optional[str] = None,
+    lut_k: Optional[int] = None,
 ) -> EvaluationResult:
     """Run the full Fig. 6 flow for one benchmark.
 
@@ -209,7 +234,9 @@ def evaluate_benchmark(
     Table 3 numbers (rom_cc_power) use the idle-biased stimulus with the
     requested target fraction, with the clock-control design verified on
     it as well.  ``backend`` selects the memory-block technology the
-    ROM implementations target (default: Virtex-II BlockRAM).
+    ROM implementations target (default: Virtex-II BlockRAM);
+    ``rom_encoding``/``force_compaction``/``aspect`` replay a tuned
+    mapper configuration (see :mod:`repro.tune`).
     """
     result, _ = evaluate_benchmark_detailed(
         name_or_fsm,
@@ -224,6 +251,11 @@ def evaluate_benchmark(
         with_clock_control=with_clock_control,
         verify=verify,
         backend=backend,
+        rom_encoding=rom_encoding,
+        force_compaction=force_compaction,
+        aspect=aspect,
+        moore_outputs=moore_outputs,
+        lut_k=lut_k,
     )
     return result
 

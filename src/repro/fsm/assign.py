@@ -24,12 +24,20 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.fsm.encoding import StateEncoding
+from repro.fsm.encoding import StateEncoding, binary_encoding, gray_encoding
 from repro.fsm.machine import FSM, FsmError
 
-__all__ = ["transition_weights", "encoding_switching_cost", "anneal_encoding"]
+__all__ = [
+    "transition_weights",
+    "encoding_switching_cost",
+    "anneal_encoding",
+    "register_encoding_strategy",
+    "encoding_strategies",
+    "make_strategy_encoding",
+    "clear_strategy_cache",
+]
 
 
 def transition_weights(fsm: FSM) -> Dict[Tuple[str, str], float]:
@@ -152,3 +160,92 @@ def anneal_encoding(
         shift = best[fsm.reset_state]
         best = {s: c ^ shift for s, c in best.items()}
     return StateEncoding("annealed", width, best)
+
+
+# ---------------------------------------------------------------------------
+# Pluggable encoding strategies
+# ---------------------------------------------------------------------------
+#
+# The auto-tuner (:mod:`repro.tune`) searches over *state assignments* as
+# one axis of its candidate space, and the ROM mapping accepts any dense
+# minimal-width encoding with the reset state at address 0 (the cleared
+# latched outputs must address the initial state).  Strategies register
+# here by name; the parameterized family ``annealed@<seed>`` resolves
+# without registration so a tuner can fan out over annealing seeds while
+# every name stays a canonical, fingerprintable string.
+
+_ANNEALED_PREFIX = "annealed@"
+
+ENCODING_STRATEGIES: Dict[str, Callable[[FSM], StateEncoding]] = {
+    "binary": lambda fsm: binary_encoding(fsm, reset_code=0),
+    "gray": gray_encoding,
+    "annealed": lambda fsm: anneal_encoding(fsm),
+}
+
+
+def register_encoding_strategy(
+    name: str,
+    factory: Callable[[FSM], StateEncoding],
+    replace: bool = False,
+) -> None:
+    """Register a named state-assignment strategy.
+
+    The factory must return a *dense* encoding (minimal binary width)
+    with the reset state at code 0 for the result to be legal in the
+    ROM mapping; the mapper validates and rejects anything else.
+    """
+    if not replace and name in ENCODING_STRATEGIES:
+        raise ValueError(f"encoding strategy {name!r} is already registered")
+    ENCODING_STRATEGIES[name] = factory
+
+
+def encoding_strategies() -> Tuple[str, ...]:
+    """Registered strategy names, sorted (``annealed@<seed>`` also works)."""
+    return tuple(sorted(ENCODING_STRATEGIES))
+
+
+# Strategy results memoised by (STG fingerprint, strategy name): an
+# assignment depends only on the machine's transition structure, so the
+# tuner's grid — dozens of candidates differing only in aspect ratio,
+# compaction, or clock control — anneals each (machine, seed) pair
+# once.  Factories must therefore be pure functions of the FSM (the
+# registry docstring already requires determinism for fingerprinting).
+# FIFO-bounded like the Markov stationary cache; callers share the
+# cached StateEncoding and must not mutate it.
+_STRATEGY_CACHE: Dict[Tuple[str, str], StateEncoding] = {}
+_STRATEGY_CACHE_MAX = 512
+
+
+def clear_strategy_cache() -> None:
+    """Forget every memoised strategy encoding."""
+    _STRATEGY_CACHE.clear()
+
+
+def make_strategy_encoding(fsm: FSM, name: str) -> StateEncoding:
+    """Build an encoding by strategy name (memoised per machine).
+
+    Accepts any registered name plus the parameterized family
+    ``annealed@<seed>`` (e.g. ``annealed@7`` anneals with seed 7),
+    which keeps tuner candidate configs self-describing strings.
+    """
+    from repro.fsm.markov import stg_fingerprint
+
+    key = (stg_fingerprint(fsm), name)
+    cached = _STRATEGY_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    factory = ENCODING_STRATEGIES.get(name)
+    if factory is not None:
+        encoding = factory(fsm)
+    elif name.startswith(_ANNEALED_PREFIX) and name[len(_ANNEALED_PREFIX):].isdigit():
+        encoding = anneal_encoding(fsm, seed=int(name[len(_ANNEALED_PREFIX):]))
+    else:
+        raise FsmError(
+            f"unknown encoding strategy {name!r}; choose from "
+            f"{sorted(ENCODING_STRATEGIES)} or 'annealed@<seed>'"
+        )
+    if len(_STRATEGY_CACHE) >= _STRATEGY_CACHE_MAX:
+        _STRATEGY_CACHE.pop(next(iter(_STRATEGY_CACHE)))
+    _STRATEGY_CACHE[key] = encoding
+    return encoding

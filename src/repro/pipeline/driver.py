@@ -24,6 +24,7 @@ deterministic, so it would fail identically again.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import random
 import threading
 import time
@@ -31,7 +32,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro import faults
 from repro.logutil import get_logger, kv
@@ -57,6 +58,25 @@ class WorkerCrashError(RuntimeError):
         self.attempts = attempts
 
 
+def _pool_worker_init(plan_spec: Optional[str]) -> None:
+    """Install the driver's active fault plan in a fresh pool worker.
+
+    The environment route (``REPRO_FAULTS``) reaches fork and spawn
+    children, but a *forkserver* inherits the environment of the moment
+    the server process launched — an env var exported afterwards never
+    arrives.  Passing the plan through the pool initializer makes fault
+    propagation deterministic under every start method.
+    """
+    if not plan_spec:
+        return
+    from repro.faults.plan import FaultPlan
+
+    try:
+        faults.install(FaultPlan.from_spec(plan_spec))
+    except ValueError:  # pragma: no cover - malformed plan, fail open
+        pass
+
+
 def _worker_call(func: Callable[[Any], Any], item: Any, attempt: int) -> Any:
     """Per-shard pool entry; carries the ``driver.worker`` fault point.
 
@@ -76,6 +96,7 @@ def run_sharded(
     max_retries: int = DEFAULT_MAX_RETRIES,
     backoff_s: float = DEFAULT_BACKOFF_S,
     retry_seed: int = 0,
+    mp_context: Optional[str] = None,
 ) -> List[Any]:
     """Map ``func`` over ``items`` with ``jobs`` worker processes.
 
@@ -83,7 +104,10 @@ def run_sharded(
     be picklable.  Results come back in input order.  Shards lost to a
     crashed worker are retried (``max_retries`` rounds, jittered
     exponential backoff seeded by ``retry_seed``); when retries run out
-    a :class:`WorkerCrashError` is raised.
+    a :class:`WorkerCrashError` is raised.  ``mp_context`` selects the
+    multiprocessing start method (e.g. ``"forkserver"``, the service's
+    choice — workers never inherit a dirty heap); ``None`` keeps the
+    platform default.
     """
     start = time.perf_counter()
     if jobs is None or jobs <= 1 or len(items) <= 1:
@@ -93,6 +117,7 @@ def run_sharded(
         results = _run_pool(
             func, items, jobs=jobs, max_retries=max_retries,
             backoff_s=backoff_s, retry_seed=retry_seed,
+            mp_context=mp_context,
         )
     logger.info(kv(
         "shard_done", items=len(items), jobs=max(1, jobs or 1),
@@ -108,11 +133,15 @@ def _run_pool(
     max_retries: int,
     backoff_s: float,
     retry_seed: int,
+    mp_context: Optional[str] = None,
 ) -> List[Any]:
     results: List[Any] = [None] * len(items)
     pending = list(range(len(items)))
     rng = random.Random(retry_seed)
     attempt = 0
+    context = multiprocessing.get_context(mp_context) if mp_context else None
+    plan = faults.active_plan()
+    plan_spec = plan.to_json() if plan is not None else None
     while True:
         workers = min(jobs, len(pending))
         logger.debug(kv(
@@ -120,7 +149,12 @@ def _run_pool(
             attempt=attempt,
         ))
         crashed: List[int] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_pool_worker_init,
+            initargs=(plan_spec,),
+        ) as pool:
             futures = {
                 index: pool.submit(_worker_call, func, items[index], attempt)
                 for index in pending

@@ -28,7 +28,10 @@ Config keys consumed by the stages (see ``evaluation_config`` in
 ``with_clock_control``, ``frequencies``, ``device``, ``params``,
 ``backend`` (the memory-block technology name; part of the ``rom-map``/
 ``rom-cc`` cache keys so artifacts from different fabrics never
-collide).
+collide), plus the tuner-plumbed mapper options ``rom_encoding``
+(pluggable state assignment, see :mod:`repro.fsm.assign`),
+``force_compaction`` and ``aspect`` (pin one block aspect ratio) —
+``None``/``False`` defaults reproduce the paper's fixed heuristic.
 """
 
 from __future__ import annotations
@@ -88,6 +91,14 @@ STAGE_VERSIONS: Dict[str, str] = {
     "eco-patch": "1",
     "eco-simulate": "1",
     "eco-power": "1",
+    # repro.tune's candidate-evaluation pipeline: map one fingerprinted
+    # tuner candidate, then score it (power × area × timing) on the
+    # shared stimulus.  Fitness memoisation *is* the tune-fitness cache
+    # entry — its key commits to the tune-map artifact fingerprint, so
+    # candidates that collapse onto the same implementation share one
+    # evaluation.
+    "tune-map": "1",
+    "tune-fitness": "1",
 }
 
 # prep4 is the paper's explicit Fig. 3 case: "the outputs of prep4 were
@@ -201,6 +212,10 @@ def _rom_map(ctx: StageContext, clock_control: bool) -> RomFsmImplementation:
     return map_fsm_to_rom(
         fsm, clock_control=clock_control, moore_outputs=mode,
         backend=ctx.cfg("backend"),
+        encoding=ctx.cfg("rom_encoding"),
+        force_compaction=bool(ctx.cfg("force_compaction", False)),
+        aspect=ctx.cfg("aspect"),
+        k=ctx.cfg("lut_k", 4),
     )
 
 
@@ -347,12 +362,14 @@ def build_evaluation_pipeline(with_clock_control: bool = True) -> Pipeline:
         make_stage("ff-synth", _stage_ff_synth,
                ("parse", "complete-encode"), ("encoding", "lut_k")),
         make_stage("rom-map", _stage_rom_map, ("parse",),
-               ("moore_outputs", "backend")),
+               ("moore_outputs", "backend", "rom_encoding",
+                "force_compaction", "aspect", "lut_k")),
     ]
     if with_clock_control:
         stages.append(
             make_stage("rom-cc", _stage_rom_cc, ("parse",),
-                   ("moore_outputs", "backend"))
+                   ("moore_outputs", "backend", "rom_encoding",
+                    "force_compaction", "aspect", "lut_k"))
         )
     stages += [
         make_stage("simulate", _stage_simulate,

@@ -123,8 +123,12 @@ def _aux_mapping_nets(
     nets: List[NetActivity] = []
     lut_activity: Dict[str, float] = {}
     fanouts = mapping.fanout_counts()
-    lut_names = {lut.name for lut in mapping.luts}
-    for name in lut_names:
+    # Iterate the LUT list (topological emission order), not a set of
+    # names: net order fixes the float accumulation order downstream,
+    # and set order varies with the interpreter's hash seed — worker
+    # processes would disagree with the driver in the last bits.
+    for lut in mapping.luts:
+        name = lut.name
         fanout = fanouts.get(name, 0) + extra_loads.get(name, 0)
         alpha = toggles.get(name, 0) / cycles
         nets.append(

@@ -23,8 +23,9 @@ Two engineering options orthogonal to the core algorithm:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Union
 
+from repro.arch.bram import BramConfig
 from repro.arch.memblock import MemoryBlockModel, resolve_backend
 from repro.fsm.encoding import StateEncoding, binary_encoding
 from repro.fsm.machine import FSM, FsmError
@@ -35,7 +36,12 @@ from repro.romfsm.compaction import ColumnCompaction, compact_columns
 from repro.romfsm.contents import RomLayout, generate_contents
 from repro.romfsm.impl import RomFsmImplementation
 
-__all__ = ["MappingError", "map_fsm_to_rom", "synthesize_moore_outputs"]
+__all__ = [
+    "MappingError",
+    "map_fsm_to_rom",
+    "resolve_rom_encoding",
+    "synthesize_moore_outputs",
+]
 
 
 class MappingError(FsmError):
@@ -73,6 +79,44 @@ def synthesize_moore_outputs(
     return map_truth_tables(functions, k=k)
 
 
+def resolve_rom_encoding(
+    fsm: FSM, encoding: Union[None, str, StateEncoding]
+) -> StateEncoding:
+    """The state assignment the ROM image is generated under.
+
+    ``None`` keeps the paper's dense binary encoding.  A string names a
+    pluggable strategy (:mod:`repro.fsm.assign`); a ready
+    :class:`StateEncoding` is validated.  Either way the result must be
+    *dense* (minimal binary width — every extra bit doubles the address
+    space) with the reset state at code 0 (the memory's latched outputs
+    clear to zero on reset, paper §4.2).
+    """
+    if encoding is None:
+        return binary_encoding(fsm, reset_code=0)
+    if isinstance(encoding, str):
+        from repro.fsm.assign import make_strategy_encoding
+
+        try:
+            resolved = make_strategy_encoding(fsm, encoding)
+        except FsmError as exc:
+            raise MappingError(str(exc)) from None
+    else:
+        resolved = encoding
+    minimal = binary_encoding(fsm, reset_code=0).width
+    if resolved.width != minimal:
+        raise MappingError(
+            f"{fsm.name}: ROM state assignment {resolved.style!r} is "
+            f"{resolved.width} bits wide; the mapping needs the minimal "
+            f"{minimal} (every extra state bit doubles the address space)"
+        )
+    if resolved.encode(fsm.reset_state) != 0:
+        raise MappingError(
+            f"{fsm.name}: ROM state assignment must place the reset "
+            f"state at code 0 (cleared-latch reset convention)"
+        )
+    return resolved
+
+
 def map_fsm_to_rom(
     fsm: FSM,
     k: int = 4,
@@ -81,6 +125,8 @@ def map_fsm_to_rom(
     force_compaction: bool = False,
     max_idle_cubes: int = 8,
     backend=None,
+    encoding: Union[None, str, StateEncoding] = None,
+    aspect: Optional[str] = None,
 ) -> RomFsmImplementation:
     """Map ``fsm`` into embedded memory blocks per the paper's algorithm.
 
@@ -108,6 +154,16 @@ def map_fsm_to_rom(
         :class:`~repro.arch.memblock.MemoryBlockModel`, or ``None`` for
         the Virtex-II BlockRAM default.  The backend answers every
         aspect-ratio/series legality question below.
+    encoding:
+        ROM state assignment: ``None`` for the paper's dense binary, a
+        strategy name (see :mod:`repro.fsm.assign`), or a ready
+        :class:`StateEncoding`.  Must be dense with reset at code 0
+        (validated) — the assignment changes which address/data lines
+        toggle, not the mapping legality.
+    aspect:
+        Pin the block aspect ratio to one named backend configuration
+        (e.g. ``"512x36"``) instead of the widest-fit policy; raises
+        :class:`MappingError` when the machine cannot fit that shape.
 
     Returns
     -------
@@ -117,7 +173,19 @@ def map_fsm_to_rom(
         raise ValueError(f"bad moore_outputs option {moore_outputs!r}")
     mem: MemoryBlockModel = resolve_backend(backend)
     fsm.validate()
-    encoding = binary_encoding(fsm, reset_code=0)
+    forced: Optional[BramConfig] = None
+    if aspect is not None:
+        for config in mem.configs:
+            if config.name == aspect:
+                forced = config
+                break
+        else:
+            names = ", ".join(c.name for c in mem.configs)
+            raise MappingError(
+                f"{fsm.name}: {mem.name} offers no aspect ratio named "
+                f"{aspect!r} (choose from {names})"
+            )
+    encoding = resolve_rom_encoding(fsm, encoding)
     s = encoding.width
     num_inputs = fsm.num_inputs
     num_outputs = fsm.num_outputs
@@ -167,6 +235,15 @@ def map_fsm_to_rom(
 
     def plan(addr_bits: int):
         """(config, parallel, series) lanes for an address/width demand."""
+        if forced is not None:
+            # A pinned aspect ratio answers its own series question: one
+            # cascaded block per address bit beyond the shape's depth.
+            if addr_bits > forced.addr_bits:
+                series = 1 << (addr_bits - forced.addr_bits)
+            else:
+                series = 1
+            parallel = -(-width_needed // forced.width)
+            return forced, parallel, series
         # Fig. 5 lines 16-18: series joining grows the address space.
         series, lane_addr = mem.series_for(addr_bits)
         config = mem.select_config(

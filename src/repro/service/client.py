@@ -201,6 +201,32 @@ class ServiceClient:
             body["old_fingerprint"] = old_fingerprint
         return self._json("POST", "/v1/eco", body)
 
+    def tune(
+        self,
+        benchmark: Optional[str] = None,
+        kiss: Optional[str] = None,
+        name: Optional[str] = None,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        """POST /v1/tune: search mapper configurations for the Pareto
+        frontier.
+
+        ``options`` pass through to the request body (``backend``,
+        ``num_cycles``, ``seed``, ``frequency_mhz``, ``verify``,
+        ``prune``).  The answer's ``result`` field is the replayable
+        frontier artifact — save it verbatim and it feeds
+        ``romfsm eval --tuned``.  Identical tune requests coalesce
+        server-side onto one search.
+        """
+        body: Dict[str, Any] = dict(options)
+        if benchmark is not None:
+            body["benchmark"] = benchmark
+        if kiss is not None:
+            body["kiss"] = kiss
+        if name is not None:
+            body["name"] = name
+        return self._json("POST", "/v1/tune", body)
+
     def batch_stream(
         self, items: Sequence[Dict[str, Any]]
     ) -> Iterator[Dict[str, Any]]:

@@ -48,12 +48,16 @@ __all__ = [
     "parse_job",
     "parse_batch",
     "run_job",
+    "tune_payload",
 ]
 
 MAX_CYCLES = 200_000
 MAX_FREQUENCIES = 16
 MAX_BATCH_ITEMS = 256
 MAX_EDITS = 1024
+# Tuning stimulus bound: every candidate pays for the cycles, so the
+# service keeps grids affordable (the library accepts more).
+MAX_TUNE_CYCLES = 20_000
 
 _EVALUATE_FIELDS = {
     "kind", "benchmark", "kiss", "name", "frequencies_mhz", "num_cycles",
@@ -66,6 +70,10 @@ _MAP_FIELDS = {
 _ECO_FIELDS = {
     "kind", "benchmark", "kiss", "name", "edits", "new_kiss", "new_name",
     "old_fingerprint", "frequencies_mhz", "num_cycles", "seed", "backend",
+}
+_TUNE_FIELDS = {
+    "kind", "benchmark", "kiss", "name", "backend", "num_cycles", "seed",
+    "frequency_mhz", "verify", "prune",
 }
 _ENCODINGS = ("binary", "gray", "one-hot", "johnson")
 _MOORE_MODES = ("auto", "external", "internal")
@@ -173,8 +181,11 @@ def parse_job(body: Any, kind: str = "evaluate") -> Job:
         return _parse_map(body)
     if kind == "eco":
         return _parse_eco(body)
+    if kind == "tune":
+        return _parse_tune(body)
     raise JobError(
-        f"unknown job kind {kind!r} (expected 'evaluate', 'map' or 'eco')"
+        f"unknown job kind {kind!r} (expected 'evaluate', 'map', 'eco' "
+        f"or 'tune')"
     )
 
 
@@ -361,6 +372,44 @@ def _parse_eco(body: Dict[str, Any]) -> Job:
     )
 
 
+def _parse_tune(body: Dict[str, Any]) -> Job:
+    """Validate a ``POST /v1/tune`` body.
+
+    The job key is the content fingerprint of the resolved tune request
+    (machine + backend + settings), so identical tune requests coalesce
+    onto one search exactly like evaluations do — a tuning run is
+    deterministic, every waiter gets the same frontier.
+    """
+    unknown = set(body) - _TUNE_FIELDS
+    if unknown:
+        raise JobError(f"unknown field(s) for tune: {sorted(unknown)}")
+    source, name_or_fsm = _require_fsm_source(body)
+    spec = {
+        "name_or_fsm": name_or_fsm,
+        "num_cycles": _number(
+            body, "num_cycles", 512, 1, MAX_TUNE_CYCLES, integer=True
+        ),
+        "seed": _number(body, "seed", 2004, 0, 2**63 - 1, integer=True),
+        "frequency_mhz": _number(body, "frequency_mhz", 100.0, 1e-3, 10_000.0),
+        "verify": _flag(body, "verify", True),
+        "prune": _flag(body, "prune", True),
+        "backend": _backend(body),
+    }
+    key_spec = dict(spec)
+    if isinstance(name_or_fsm, FSM):
+        from repro.fsm.kiss import format_kiss
+
+        key_spec["name_or_fsm"] = (
+            "kiss2", name_or_fsm.name, format_kiss(name_or_fsm)
+        )
+    return Job(
+        kind="tune",
+        key=fingerprint(("tune", key_spec)),
+        source=source,
+        spec=spec,
+    )
+
+
 def parse_batch(body: Any) -> List[Union[Job, JobError]]:
     """Validate a ``/v1/batch`` campaign envelope.
 
@@ -519,6 +568,23 @@ def eco_payload(result) -> Dict[str, Any]:
     }
 
 
+def tune_payload(result) -> Dict[str, Any]:
+    """JSON-ready description of one tuning run.
+
+    The body *is* the replayable frontier artifact
+    (:meth:`~repro.tune.frontier.TuneResult.to_artifact`): schema,
+    settings, space, baseline, every frontier point with its candidate
+    and fitness, plus the run's search stats — a client can save the
+    ``result`` field verbatim and feed it to ``romfsm eval --tuned``.
+    """
+    payload = result.to_artifact()
+    payload["best_power"] = result.best_power.as_dict()
+    payload["best_power_saving_percent"] = _round(
+        result.best_power_saving_percent(), 3
+    )
+    return payload
+
+
 def run_job(
     job: Job,
     cache: Any = None,
@@ -567,6 +633,24 @@ def run_job(
             backend=spec["backend"],
         )
         return map_payload(impl), []
+    if job.kind == "tune":
+        from repro.tune import tune_benchmark
+
+        spec = job.spec
+        # jobs=1: this already runs inside an executor worker, so the
+        # search evaluates inline instead of nesting a process pool.
+        result = tune_benchmark(
+            spec["name_or_fsm"],
+            backend=spec["backend"],
+            jobs=1,
+            cache=cache,
+            num_cycles=spec["num_cycles"],
+            seed=spec["seed"],
+            frequency_mhz=spec["frequency_mhz"],
+            verify=spec["verify"],
+            prune=spec["prune"],
+        )
+        return tune_payload(result), []
     if job.kind == "eco":
         from repro.flows.eco import EcoError, eco_evaluate
 

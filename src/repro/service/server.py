@@ -165,6 +165,13 @@ class CompileServer:
         self._m_worker_crashes = m.counter(
             "romfsm_worker_crashes_total",
             "Process-pool rebuilds after a crashed worker.")
+        self._m_tune_candidates = m.counter(
+            "romfsm_tune_candidates_total",
+            "Tuner candidates by outcome (evaluated / pruned / deduped "
+            "/ infeasible).")
+        self._m_tune_cache_hits = m.counter(
+            "romfsm_tune_cache_hits_total",
+            "Tuner candidate evaluations answered by the fitness cache.")
 
     # -- lifecycle -----------------------------------------------------
 
@@ -253,7 +260,8 @@ class CompileServer:
                     return
                 base = http.split_query(request.path)[0]
                 if base not in ("/healthz", "/metrics", "/v1/evaluate",
-                                "/v1/map", "/v1/eco", "/v1/batch"):
+                                "/v1/map", "/v1/eco", "/v1/tune",
+                                "/v1/batch"):
                     base = "other"  # bound the metrics label cardinality
                 route = f"{request.method} {base}"
                 if base == "/v1/batch" and request.method == "POST":
@@ -321,7 +329,7 @@ class CompileServer:
                 body=self.render_metrics().encode("utf-8"),
                 content_type="text/plain; version=0.0.4",
             )
-        if path in ("/v1/evaluate", "/v1/map", "/v1/eco"):
+        if path in ("/v1/evaluate", "/v1/map", "/v1/eco", "/v1/tune"):
             if request.method != "POST":
                 return http.error_response(405, "use POST", "bad_method")
             return await self._handle_job(request, kind=path.rsplit("/", 1)[1])
@@ -633,6 +641,18 @@ class CompileServer:
                 finally:
                     self._m_in_flight.dec()
                 self._m_runs.inc(kind=job.kind)
+                if job.kind == "tune":
+                    stats = payload.get("stats", {})
+                    for outcome in ("evaluated", "pruned", "deduped",
+                                    "infeasible"):
+                        count = int(stats.get(outcome, 0))
+                        if count:
+                            self._m_tune_candidates.inc(
+                                count, outcome=outcome
+                            )
+                    hits = int(stats.get("fitness_cache_hits", 0))
+                    if hits:
+                        self._m_tune_cache_hits.inc(hits)
                 self.manifest.add_records(records)
                 logger.info(kv(
                     "job_done", kind=job.kind, source=job.source,

@@ -1,0 +1,39 @@
+"""Chaos suite for the tuner: worker crashes must not change the bytes.
+
+The tuner dispatches its evaluation batches onto the same crash-tolerant
+process-pool driver as ``romfsm tables``; the acceptance invariant is
+the same — a killed worker costs a retry round, never a different
+frontier.
+"""
+
+import logging
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.tune import TuneSpace, tune_benchmark
+
+SPACE = TuneSpace()  # 12 candidates
+SMALL = dict(space=SPACE, num_cycles=96, seed=7)
+
+
+class TestTuneWorkerKill:
+    def test_frontier_bit_identical_through_worker_kills(
+        self, chaos_seed, record_plan, caplog
+    ):
+        baseline = tune_benchmark(
+            "dk14", jobs=1, cache=False, **SMALL
+        ).canonical_json()
+
+        # Every first-attempt worker dies; the retry round completes.
+        plan = record_plan(FaultPlan(
+            [FaultRule(point="driver.worker", kind="kill",
+                       match={"attempt": 0})],
+            seed=chaos_seed,
+        ))
+        with caplog.at_level(logging.WARNING):
+            with faults.injected(plan):
+                stormy = tune_benchmark("dk14", jobs=2, cache=False, **SMALL)
+
+        assert stormy.canonical_json() == baseline
+        # Not vacuous: the kill really happened and the retry really ran.
+        assert "shard_retry" in caplog.text

@@ -1,0 +1,19 @@
+"""Suite-wide fixtures.
+
+The compiled-simulation engine keeps process-global counters
+(:func:`repro.synth.codegen.stats`): compiles, cache hits, fallbacks.
+Several suites assert on them (``fallbacks == 0`` is the "codegen never
+silently degrades" invariant), which only means anything if each test
+observes its *own* activity.  Reset the counters before every test so
+assertions never depend on suite order or ``-k`` selections.
+"""
+
+import pytest
+
+from repro.synth import codegen
+
+
+@pytest.fixture(autouse=True)
+def _fresh_codegen_stats():
+    codegen.reset_stats()
+    yield

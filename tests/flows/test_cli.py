@@ -323,3 +323,100 @@ class TestFriendlyErrors:
             "submit", str(kiss), "--port", "1", "--timeout", "2",
         ]) == 2
         self._assert_one_line_error(capsys, "unreachable")
+
+
+class TestTuneCommand:
+    def test_tune_options_registered(self):
+        args = build_parser().parse_args(
+            ["tune", "dk14", "--cycles", "96", "--seed", "7",
+             "--jobs", "2", "--no-prune", "--out", "f.json"]
+        )
+        assert args.cycles == 96
+        assert args.seed == 7
+        assert args.jobs == 2
+        assert args.no_prune
+        assert args.out == "f.json"
+
+    def test_tune_prints_frontier_and_writes_artifact(
+        self, kiss_file, tmp_path, capsys
+    ):
+        out = str(tmp_path / "frontier.json")
+        assert main([
+            "tune", kiss_file, "--cycles", "96", "--no-cache", "--out", out,
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "Pareto frontier" in printed
+        assert "baseline (fixed heuristic)" in printed
+        assert f"wrote {out}" in printed
+
+        from repro.tune import load_frontier
+        result = load_frontier(out)
+        assert result.benchmark == "det"
+        assert result.frontier
+
+    def test_eval_tuned_applies_stored_config(
+        self, kiss_file, tmp_path, capsys
+    ):
+        out = str(tmp_path / "frontier.json")
+        assert main([
+            "tune", kiss_file, "--cycles", "96", "--no-cache", "--out", out,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "eval", kiss_file, "--cycles", "96", "--no-cache",
+            "--tuned", out, "--profile",
+        ]) == 0
+        printed = capsys.readouterr().out
+        # The provenance note names the artifact, the point index, and
+        # the candidate fingerprint prefix.
+        assert "[tuned] mapper config from" in printed
+        assert out in printed
+        assert "candidate " in printed
+
+    def test_eval_tuned_without_profile_is_silent_about_provenance(
+        self, kiss_file, tmp_path, capsys
+    ):
+        out = str(tmp_path / "frontier.json")
+        assert main([
+            "tune", kiss_file, "--cycles", "96", "--no-cache", "--out", out,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "eval", kiss_file, "--cycles", "96", "--no-cache",
+            "--tuned", out,
+        ]) == 0
+        assert "[tuned]" not in capsys.readouterr().out
+
+    def test_eval_tuned_point_out_of_range(
+        self, kiss_file, tmp_path, capsys
+    ):
+        out = str(tmp_path / "frontier.json")
+        assert main([
+            "tune", kiss_file, "--cycles", "96", "--no-cache", "--out", out,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "eval", kiss_file, "--tuned", out, "--tuned-point", "99",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("romfsm: error:")
+        assert "out of range" in err
+
+    def test_eval_tuned_benchmark_mismatch(
+        self, kiss_file, tmp_path, capsys
+    ):
+        out = str(tmp_path / "frontier.json")
+        assert main([
+            "tune", "dk14", "--cycles", "96", "--no-cache", "--out", out,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["eval", kiss_file, "--tuned", out]) == 2
+        err = capsys.readouterr().err
+        assert "tuned for 'dk14'" in err
+
+    def test_eval_tuned_missing_artifact(self, kiss_file, capsys):
+        assert main([
+            "eval", kiss_file, "--tuned", "nosuch.json",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "no such frontier artifact" in err

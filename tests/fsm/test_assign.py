@@ -134,3 +134,56 @@ class TestAnneal:
             synthesize_ff(fsm, anneal_encoding(fsm, seed=1)), stim
         )
         assert tuned.ff_output_toggles < naive.ff_output_toggles
+
+
+class TestStrategyMemo:
+    def test_memo_returns_the_shared_object(self):
+        from repro.fsm.assign import clear_strategy_cache, make_strategy_encoding
+
+        clear_strategy_cache()
+        fsm = load_benchmark("dk14")
+        first = make_strategy_encoding(fsm, "annealed@0")
+        second = make_strategy_encoding(fsm, "annealed@0")
+        assert first is second
+
+    def test_memo_keyed_by_strategy_name(self):
+        from repro.fsm.assign import clear_strategy_cache, make_strategy_encoding
+
+        clear_strategy_cache()
+        fsm = load_benchmark("dk14")
+        binary = make_strategy_encoding(fsm, "binary")
+        gray = make_strategy_encoding(fsm, "gray")
+        assert binary is not gray
+        assert binary.style != gray.style
+
+    def test_memo_keyed_by_machine(self):
+        from repro.fsm.assign import clear_strategy_cache, make_strategy_encoding
+        from repro.fsm.kiss import parse_kiss
+
+        clear_strategy_cache()
+        a = load_benchmark("dk14")
+        b = load_benchmark("donfile")
+        assert (make_strategy_encoding(a, "binary")
+                is not make_strategy_encoding(b, "binary"))
+
+    def test_memo_hit_equals_fresh_computation(self):
+        from repro.fsm.assign import clear_strategy_cache, make_strategy_encoding
+
+        fsm = load_benchmark("dk14")
+        clear_strategy_cache()
+        first = make_strategy_encoding(fsm, "annealed@3")
+        clear_strategy_cache()
+        fresh = make_strategy_encoding(fsm, "annealed@3")
+        assert first is not fresh
+        assert first.codes == fresh.codes
+        assert first.width == fresh.width
+
+    def test_unknown_strategy_raises_typed_error(self):
+        from repro.fsm.assign import make_strategy_encoding
+        from repro.fsm.machine import FsmError
+
+        with pytest.raises(FsmError):
+            make_strategy_encoding(load_benchmark("dk14"), "mystery")
+        with pytest.raises(FsmError):
+            # Non-numeric seed suffix is not the parameterized family.
+            make_strategy_encoding(load_benchmark("dk14"), "annealed@x")

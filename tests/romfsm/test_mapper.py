@@ -181,3 +181,54 @@ class TestClockControlOption:
         assert tight.clock_control.num_luts <= loose.clock_control.num_luts
         check_equivalent(fsm, tight, cycles=300)
         check_equivalent(fsm, loose, cycles=300)
+
+
+class TestEncodingAndAspectKnobs:
+    """The tuner-facing mapper knobs: pluggable state assignment and a
+    pinned block aspect ratio."""
+
+    def test_gray_and_annealed_encodings_stay_equivalent(self):
+        fsm = load_benchmark("dk14")
+        for encoding in ("gray", "annealed@0"):
+            impl = map_fsm_to_rom(fsm, encoding=encoding)
+            check_equivalent(fsm, impl)
+
+    def test_ready_encoding_object_accepted(self):
+        from repro.fsm.assign import anneal_encoding
+
+        fsm = parse_kiss(DETECTOR, "det")
+        impl = map_fsm_to_rom(fsm, encoding=anneal_encoding(fsm, seed=2))
+        check_equivalent(fsm, impl)
+
+    def test_non_dense_encoding_rejected(self):
+        from repro.fsm.encoding import StateEncoding
+
+        fsm = parse_kiss(DETECTOR, "det")
+        wide = StateEncoding("onehot-ish", 3,
+                             {"A": 0, "B": 1, "C": 2, "D": 4})
+        with pytest.raises(MappingError):
+            map_fsm_to_rom(fsm, encoding=wide)
+
+    def test_reset_off_zero_rejected(self):
+        from repro.fsm.encoding import StateEncoding
+
+        fsm = parse_kiss(DETECTOR, "det")
+        shifted = StateEncoding("shifted", 2,
+                                {"A": 1, "B": 0, "C": 2, "D": 3})
+        with pytest.raises(MappingError):
+            map_fsm_to_rom(fsm, encoding=shifted)
+
+    def test_unknown_strategy_name_is_a_mapping_error(self):
+        with pytest.raises(MappingError):
+            map_fsm_to_rom(parse_kiss(DETECTOR, "det"), encoding="mystery")
+
+    def test_pinned_aspect_is_honoured(self):
+        fsm = parse_kiss(DETECTOR, "det")
+        impl = map_fsm_to_rom(fsm, aspect="2Kx9")
+        assert impl.config.name == "2Kx9"
+        check_equivalent(fsm, impl)
+
+    def test_unknown_aspect_lists_choices(self):
+        with pytest.raises(MappingError) as exc:
+            map_fsm_to_rom(parse_kiss(DETECTOR, "det"), aspect="1x1")
+        assert "512x36" in str(exc.value)

@@ -1,0 +1,138 @@
+"""``POST /v1/tune``: validation, payload shape, coalescing, metrics.
+
+Tune requests follow the service's general contract — malformed bodies
+are 400s with stable slugs *before* an executor slot is spent, identical
+requests share one content-addressed key (so concurrent duplicates
+coalesce onto a single search), and the endpoint feeds the tuner's own
+``/metrics`` counters.
+"""
+
+import pytest
+
+from repro.service.jobs import (
+    JobError,
+    MAX_TUNE_CYCLES,
+    parse_job,
+    run_job,
+)
+from repro.service.server import ServerConfig
+
+from tests.service.conftest import (
+    DETECTOR_KISS,
+    http_request,
+    run_async,
+    serving,
+)
+
+SMALL_BODY = {
+    "kind": "tune", "benchmark": "dk14",
+    "num_cycles": 96, "seed": 7,
+}
+
+
+class TestParseTune:
+    def test_benchmark_body(self):
+        job = parse_job(SMALL_BODY)
+        assert job.kind == "tune"
+        assert len(job.key) == 64
+        assert job.spec["num_cycles"] == 96
+
+    def test_identical_requests_share_a_key(self):
+        # Key order must not matter: the key is a content fingerprint
+        # of the resolved request, not of the raw JSON bytes.
+        a = parse_job({"kind": "tune", "benchmark": "dk14",
+                       "num_cycles": 96, "seed": 7})
+        b = parse_job({"seed": 7, "num_cycles": 96,
+                       "benchmark": "dk14", "kind": "tune"})
+        assert a.key == b.key
+
+    def test_different_settings_differ_in_key(self):
+        a = parse_job(SMALL_BODY)
+        b = parse_job(dict(SMALL_BODY, seed=8))
+        c = parse_job(dict(SMALL_BODY, prune=False))
+        assert len({a.key, b.key, c.key}) == 3
+
+    def test_kiss_body(self):
+        job = parse_job({"kind": "tune", "kiss": DETECTOR_KISS,
+                         "name": "det"})
+        assert job.kind == "tune"
+        assert job.spec["name_or_fsm"].name == "det"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(JobError):
+            parse_job(dict(SMALL_BODY, frequencies_mhz=[100.0]))
+
+    def test_cycles_bounded(self):
+        with pytest.raises(JobError):
+            parse_job(dict(SMALL_BODY, num_cycles=MAX_TUNE_CYCLES + 1))
+        with pytest.raises(JobError):
+            parse_job(dict(SMALL_BODY, num_cycles=0))
+
+    def test_needs_exactly_one_fsm_source(self):
+        with pytest.raises(JobError):
+            parse_job({"kind": "tune"})
+        with pytest.raises(JobError):
+            parse_job(dict(SMALL_BODY, kiss=DETECTOR_KISS))
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(JobError):
+            parse_job(dict(SMALL_BODY, backend="tube-memory"))
+
+
+class TestRunTune:
+    def test_payload_is_the_frontier_artifact(self):
+        payload, extra_files = run_job(parse_job(SMALL_BODY), cache=None)
+        assert extra_files == []
+        assert payload["schema"] == "repro.tune/frontier-v1"
+        assert payload["benchmark"] == "dk14"
+        assert payload["frontier"]
+        assert payload["best_power"]["fitness"]["power_mw"] > 0
+        assert "best_power_saving_percent" in payload
+        assert payload["stats"]["jobs"] == 1  # no nested pools in-worker
+
+
+class TestTuneEndpoint:
+    def test_end_to_end_and_metrics(self):
+        async def scenario():
+            async with serving(ServerConfig(
+                port=0, executor="thread", cache=False,
+            )) as server:
+                port = server.port
+                status, body = await http_request(
+                    port, "POST", "/v1/tune",
+                    {"kiss": DETECTOR_KISS, "name": "det",
+                     "num_cycles": 96, "seed": 7},
+                )
+                assert status == 200
+                result = body["result"]
+                assert result["schema"] == "repro.tune/frontier-v1"
+                assert result["benchmark"] == "det"
+
+                status, text = await http_request(port, "GET", "/metrics")
+                assert status == 200
+                assert "romfsm_tune_candidates_total" in text
+                assert 'outcome="evaluated"' in text
+                return None
+
+        run_async(scenario(), timeout=120.0)
+
+    def test_validation_is_a_400_with_slug(self):
+        async def scenario():
+            async with serving() as server:
+                port = server.port
+                status, body = await http_request(
+                    port, "POST", "/v1/tune",
+                    {"benchmark": "dk14", "num_cycles": 10**9},
+                )
+                assert status == 400
+                assert body["error"] == "invalid"
+                assert "num_cycles" in body["message"]
+
+                status, body = await http_request(
+                    port, "POST", "/v1/tune",
+                    {"benchmark": "dk14", "wavelength": 7},
+                )
+                assert status == 400
+                return None
+
+        run_async(scenario())

@@ -1,0 +1,47 @@
+"""The tuner's determinism contract, asserted byte-for-byte.
+
+``TuneResult.canonical_json`` must be identical across process counts
+(the fixed batch size makes the evaluated/pruned split scheduling-
+independent), across fresh forkserver pools, and across cold/warm/
+disabled caches.  These are the guarantees that make a stored frontier
+artifact trustworthy: whatever machine replays it sees the same bytes.
+"""
+
+from repro.tune import TuneSpace, tune_benchmark
+
+SPACE = TuneSpace()  # 12 candidates: 3 encodings x compaction x cc
+SMALL = dict(space=SPACE, num_cycles=96, seed=7)
+
+
+class TestDeterminism:
+    def test_identical_across_process_counts(self):
+        serial = tune_benchmark("dk14", jobs=1, cache=False, **SMALL)
+        parallel = tune_benchmark("dk14", jobs=4, cache=False, **SMALL)
+        assert serial.canonical_json() == parallel.canonical_json()
+        # The *search trajectory* matches too, not just the frontier.
+        for key in ("structures", "deduped", "pruned", "evaluated"):
+            assert serial.stats[key] == parallel.stats[key], key
+
+    def test_identical_across_forkserver_pool_restarts(self):
+        # Each call builds and tears down its own forkserver pool; the
+        # bytes must not depend on which pool evaluated what.
+        first = tune_benchmark("dk14", jobs=2, cache=False, **SMALL)
+        second = tune_benchmark("dk14", jobs=2, cache=False, **SMALL)
+        assert first.canonical_json() == second.canonical_json()
+
+    def test_identical_cold_warm_and_cacheless(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        cold = tune_benchmark("dk14", jobs=1, cache=cache, **SMALL)
+        warm = tune_benchmark("dk14", jobs=1, cache=cache, **SMALL)
+        off = tune_benchmark("dk14", jobs=1, cache=False, **SMALL)
+        assert cold.canonical_json() == warm.canonical_json()
+        assert cold.canonical_json() == off.canonical_json()
+
+    def test_seed_is_load_bearing(self):
+        a = tune_benchmark("dk14", jobs=1, cache=False, space=SPACE,
+                           num_cycles=96, seed=7)
+        b = tune_benchmark("dk14", jobs=1, cache=False, space=SPACE,
+                           num_cycles=96, seed=8)
+        # Different stimulus, different measured powers: the canonical
+        # payloads must not collide (settings are embedded).
+        assert a.canonical_json() != b.canonical_json()
