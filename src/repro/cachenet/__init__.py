@@ -1,0 +1,53 @@
+"""repro.cachenet — the shared artifact-cache tier.
+
+Turns N service instances into one warm system: a minimal
+length-prefixed GET/PUT/STATS protocol over asyncio
+(:mod:`~repro.cachenet.server`, ``romfsm cached``), a consistent-hash
+sharded client with per-backend circuit breakers and a bounded
+write-behind queue (:mod:`~repro.cachenet.client`), an
+:class:`~repro.cachenet.l2.L2Cache` adapter that slots the tier behind
+:class:`~repro.pipeline.cache.ArtifactCache` get/put so every pipeline
+path gains it without call-site changes, and multi-instance campaign
+sharding over ``/v1/batch`` (:mod:`~repro.cachenet.campaign`,
+``romfsm campaign --instances``).
+
+Because artifact keys are content-addressed fingerprints, the tier has
+no staleness problem — an entry is either the one true value for its
+key or absent — so every failure mode (dead backend, corrupt frame,
+full queue) degrades to the local cache and the pipeline recomputes;
+results stay bit-identical through any backend failure.
+"""
+
+from repro.cachenet.campaign import CampaignError, run_campaign
+from repro.cachenet.client import (
+    BackendStats,
+    CacheBackendClient,
+    CircuitBreaker,
+    ShardedCacheClient,
+)
+from repro.cachenet.l2 import L2Cache
+from repro.cachenet.protocol import (
+    DEFAULT_CACHED_PORT,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    parse_peer_spec,
+)
+from repro.cachenet.ring import HashRing
+from repro.cachenet.server import CacheServer, CacheServerHandle
+
+__all__ = [
+    "BackendStats",
+    "CacheBackendClient",
+    "CacheServer",
+    "CacheServerHandle",
+    "CampaignError",
+    "CircuitBreaker",
+    "DEFAULT_CACHED_PORT",
+    "HashRing",
+    "L2Cache",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ShardedCacheClient",
+    "parse_peer_spec",
+    "run_campaign",
+]

@@ -1,0 +1,229 @@
+"""Multi-instance campaign sharding over ``/v1/batch``.
+
+:func:`run_campaign` spreads a batch campaign across N ``romfsm serve``
+instances with the same consistent-hash ring the cache tier uses: each
+item is placed by the fingerprint of its request body, so identical
+items land on the same instance (maximizing coalescing and cache
+affinity) and the placement is stable as instances come and go.
+
+One streaming ``/v1/batch`` connection per instance runs on its own
+thread; their NDJSON lines are merged in completion order, with the
+per-shard ``item`` indices rewritten back to the campaign's global
+indices.  When an instance's stream fails — refused, reset, truncated —
+its unfinished items are re-dispatched to the next instance in their
+ring preference order (each item tries each instance at most once).
+Every job is a deterministic pure computation keyed by content
+fingerprint, so re-dispatching is always safe; an item that exhausts
+every instance surfaces as an explicit ``ok: false`` /
+``error: "unreachable"`` line, never silently vanishes.
+
+The merged stream ends with one aggregated ``done`` line carrying the
+campaign totals, mirroring the single-instance ``/v1/batch`` contract.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.cachenet.protocol import parse_peer_spec
+from repro.cachenet.ring import HashRing
+from repro.logutil import get_logger, kv
+from repro.pipeline.artifact import fingerprint
+from repro.service.client import ServiceClient
+
+__all__ = ["CampaignError", "run_campaign"]
+
+logger = get_logger("cachenet.campaign")
+
+# /v1/batch caps campaigns at service.jobs.MAX_BATCH_ITEMS per request;
+# shards larger than one request are streamed as sequential waves.
+SHARD_WAVE_SIZE = 256
+
+
+class CampaignError(RuntimeError):
+    """Invalid campaign setup (no instances, bad spec, no items)."""
+
+
+def _parse_instances(instances: Sequence[str]) -> List[Tuple[str, int]]:
+    if isinstance(instances, str):
+        instances = [instances]
+    peers: List[Tuple[str, int]] = []
+    for spec in instances:
+        try:
+            peers.extend(parse_peer_spec(spec))
+        except ValueError as exc:
+            raise CampaignError(str(exc)) from exc
+    seen: Dict[Tuple[str, int], None] = dict.fromkeys(peers)
+    if not seen:
+        raise CampaignError("a campaign needs at least one instance")
+    return list(seen)
+
+
+def run_campaign(
+    items: Sequence[Dict[str, Any]],
+    instances: Sequence[str],
+    timeout_s: float = 300.0,
+    retries: int = 1,
+    client_factory: Optional[Callable[[str, int], ServiceClient]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Stream a sharded campaign; yields NDJSON-able dict lines.
+
+    Yields a header line, one line per item in completion order (each
+    with its global ``item`` index and the ``instance`` that answered),
+    then one aggregated ``done`` line.  ``client_factory`` is a seam
+    for tests; the default builds a :class:`ServiceClient` per
+    instance.
+    """
+    items = list(items)
+    if not items:
+        raise CampaignError("a campaign needs at least one item")
+    peers = _parse_instances(instances)
+    names = [f"{host}:{port}" for host, port in peers]
+    ring = HashRing(names)
+    if client_factory is None:
+        def client_factory(host: str, port: int) -> ServiceClient:
+            return ServiceClient(host, port, timeout_s=timeout_s,
+                                 retries=retries)
+    clients = {
+        name: client_factory(host, port)
+        for name, (host, port) in zip(names, peers)
+    }
+
+    # Placement: the same stable story as cache keys.  The fingerprint
+    # covers the whole request body, so retried/duplicate items hash to
+    # the same instance and coalesce there.
+    keys = [fingerprint(item) for item in items]
+    tried: List[Set[str]] = [set() for _ in items]
+
+    events: "queue.Queue[Tuple[Any, ...]]" = queue.Queue()
+
+    def stream_shard(instance: str, shard: List[int]) -> None:
+        """One instance's worker: stream the shard in waves."""
+        client = clients[instance]
+        completed: Set[int] = set()
+        try:
+            for start in range(0, len(shard), SHARD_WAVE_SIZE):
+                wave = shard[start:start + SHARD_WAVE_SIZE]
+                saw_done = False
+                for line in client.batch_stream([items[i] for i in wave]):
+                    if "item" in line:
+                        global_index = wave[line["item"]]
+                        completed.add(global_index)
+                        events.put(("line", dict(
+                            line, item=global_index, instance=instance,
+                        )))
+                    elif line.get("done"):
+                        saw_done = True
+                        break
+                if not saw_done:
+                    raise ConnectionResetError(
+                        "batch stream ended without a done line"
+                    )
+        except Exception as exc:
+            events.put((
+                "failed", instance, shard, completed,
+                f"{type(exc).__name__}: {exc}",
+            ))
+            return
+        events.put(("finished", instance, shard, completed))
+
+    def dispatch(assignment: Dict[str, List[int]]) -> int:
+        started = 0
+        for instance, shard in assignment.items():
+            thread = threading.Thread(
+                target=stream_shard, args=(instance, shard),
+                name=f"campaign-{instance}", daemon=True,
+            )
+            thread.start()
+            started += 1
+        return started
+
+    def place(indices: Sequence[int]) -> Tuple[Dict[str, List[int]], List[int]]:
+        """Assign each item to its first untried preference instance."""
+        assignment: Dict[str, List[int]] = {}
+        exhausted: List[int] = []
+        for index in indices:
+            target = next(
+                (name for name in ring.preference(keys[index])
+                 if name not in tried[index]),
+                None,
+            )
+            if target is None:
+                exhausted.append(index)
+                continue
+            tried[index].add(target)
+            assignment.setdefault(target, []).append(index)
+        return assignment, exhausted
+
+    assignment, exhausted = place(range(len(items)))
+    yield {
+        "campaign": True,
+        "items": len(items),
+        "instances": names,
+        "shards": {name: len(shard) for name, shard in assignment.items()},
+    }
+
+    ok_count = 0
+    failed_count = 0
+    redispatched = 0
+    active = dispatch(assignment)
+
+    def emit_unreachable(index: int) -> Dict[str, Any]:
+        return {
+            "item": index,
+            "ok": False,
+            "error": "unreachable",
+            "message": (
+                f"no instance could run item {index} "
+                f"(tried {sorted(tried[index])})"
+            ),
+        }
+
+    for index in exhausted:  # only possible with zero usable instances
+        failed_count += 1
+        yield emit_unreachable(index)
+
+    while active:
+        event = events.get()
+        kind = event[0]
+        if kind == "line":
+            line = event[1]
+            if line.get("ok", True):
+                ok_count += 1
+            else:
+                failed_count += 1
+            yield line
+            continue
+        active -= 1
+        if kind == "finished":
+            _, instance, shard, completed = event
+            leftovers = [i for i in shard if i not in completed]
+            # A clean done line with missing items means the server
+            # dropped them (validation); they already produced ok:false
+            # lines or never will — re-dispatch to be safe.
+        else:
+            _, instance, shard, completed, error = event
+            leftovers = [i for i in shard if i not in completed]
+            logger.warning(kv(
+                "campaign_instance_failed", instance=instance,
+                leftovers=len(leftovers), error=error,
+            ))
+        if not leftovers:
+            continue
+        assignment, exhausted = place(leftovers)
+        redispatched += sum(len(s) for s in assignment.values())
+        active += dispatch(assignment)
+        for index in exhausted:
+            failed_count += 1
+            yield emit_unreachable(index)
+
+    yield {
+        "done": True,
+        "items": len(items),
+        "ok": ok_count,
+        "failed": failed_count,
+        "redispatched": redispatched,
+        "instances": names,
+    }

@@ -1,0 +1,130 @@
+"""The cachenet wire protocol: length-prefixed frames, four verbs.
+
+Every message (request or reply) is one frame::
+
+    <4-byte big-endian payload length> <payload>
+
+Request payloads are a verb line, optionally followed by a body::
+
+    GET\\n<key>                 -> HIT\\n<envelope bytes> | MISS\\n
+    PUT\\n<key>\\n<envelope>     -> OK\\n | ERR\\n<message>
+    STATS\\n                    -> OK\\n<json>
+    PING\\n                     -> OK\\n
+
+The ``<envelope>`` bytes are exactly the checksummed on-disk entry
+format of :class:`~repro.pipeline.cache.ArtifactCache` (magic + CRC32 +
+pickle), moved verbatim: the server never unpickles network data, and
+the CRC written by the original producer is verified again by the final
+consumer — corruption anywhere along disk → wire → disk is caught.
+
+Frames are capped at :data:`MAX_FRAME_BYTES`; anything larger (or any
+malformed verb) is a :class:`ProtocolError`, which clients treat like
+any other backend failure: count it, open the breaker, fall back to
+the local cache.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Tuple
+
+__all__ = [
+    "DEFAULT_CACHED_PORT",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_frame",
+    "parse_peer_spec",
+    "recv_frame",
+    "send_frame",
+    "split_verb",
+]
+
+DEFAULT_CACHED_PORT = 8377
+# Pipeline artifacts are at most a few MiB of pickled words; 64 MiB is
+# a generous ceiling that still bounds a hostile or garbled peer.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN_BYTES = 4
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame or verb; the connection is not reusable."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return len(payload).to_bytes(_LEN_BYTES, "big") + payload
+
+
+def split_verb(payload: bytes) -> Tuple[str, bytes]:
+    """Split a payload into its verb line and the rest."""
+    verb, sep, rest = payload.partition(b"\n")
+    try:
+        name = verb.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError("unreadable verb") from exc
+    if not sep and not name:
+        raise ProtocolError("empty frame")
+    return name, rest
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    """Read one frame from a blocking socket (raises on short reads)."""
+    header = _recv_exact(sock, _LEN_BYTES)
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES})"
+        )
+    return _recv_exact(sock, length)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionResetError(
+                f"peer closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def parse_peer_spec(spec: str) -> List[Tuple[str, int]]:
+    """Parse ``"host:port,host:port"`` into ``[(host, port), ...]``.
+
+    A bare ``host`` takes the default ``romfsm cached`` port.  Raises
+    :class:`ValueError` on an empty or unparseable spec so callers can
+    surface one friendly line instead of a traceback.
+    """
+    peers: List[Tuple[str, int]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part.startswith(("http://", "https://")):
+            part = part.split("://", 1)[1].rstrip("/")
+        host, _, port_text = part.rpartition(":")
+        if not host:
+            host, port_text = part, str(DEFAULT_CACHED_PORT)
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(f"bad cache peer {part!r}: port is not a number")
+        if not (0 < port < 65536):
+            raise ValueError(f"bad cache peer {part!r}: port out of range")
+        peers.append((host, port))
+    if not peers:
+        raise ValueError(f"cache-peer spec {spec!r} names no backends")
+    return peers

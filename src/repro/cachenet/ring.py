@@ -1,0 +1,82 @@
+"""Consistent-hash ring placement.
+
+Both halves of the scale-out story hang off this one structure: the
+sharded cache client places fingerprints on cache backends with it, and
+the multi-instance campaign runner places batch items on service
+instances with it.  The property that matters is *stability*: adding or
+removing one of N nodes moves only ~K/N of K keys, so a backend joining
+(or dying) invalidates almost none of the tier's placement — everything
+else keeps hitting the same warm backend.
+
+Implementation is the textbook virtual-node ring: each node owns
+``replicas`` points on a 64-bit circle (SHA-256 derived, so placement
+is identical across processes and machines — no ``hash()``
+randomization), and a key belongs to the first node point at or after
+the key's own point, wrapping around.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["HashRing"]
+
+DEFAULT_REPLICAS = 64
+
+
+def _point(token: str) -> int:
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over string node names."""
+
+    def __init__(self, nodes: Iterable[str], replicas: int = DEFAULT_REPLICAS):
+        self.nodes: Tuple[str, ...] = tuple(dict.fromkeys(nodes))
+        if not self.nodes:
+            raise ValueError("a hash ring needs at least one node")
+        self.replicas = max(1, int(replicas))
+        points: List[Tuple[int, str]] = []
+        for node in self.nodes:
+            for index in range(self.replicas):
+                points.append((_point(f"{node}#{index}"), node))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    def node_for(self, key: str) -> str:
+        """The node that owns ``key``."""
+        index = bisect.bisect_right(self._points, _point(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def preference(self, key: str) -> List[str]:
+        """All nodes in ring order starting at ``key``'s owner.
+
+        The failover order: if the owner is down, the next distinct
+        node clockwise takes the request, and so on — the same order
+        every process computes for the same key.
+        """
+        start = bisect.bisect_right(self._points, _point(key))
+        seen: List[str] = []
+        for offset in range(len(self._owners)):
+            node = self._owners[(start + offset) % len(self._owners)]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) == len(self.nodes):
+                    break
+        return seen
+
+    def with_nodes(self, nodes: Sequence[str]) -> "HashRing":
+        """A new ring over ``nodes`` with the same replica count."""
+        return HashRing(nodes, replicas=self.replicas)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"HashRing({list(self.nodes)!r}, replicas={self.replicas})"

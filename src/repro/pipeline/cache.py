@@ -35,6 +35,7 @@ import os
 import pickle
 import tempfile
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple, Union
@@ -44,18 +45,31 @@ from repro.logutil import get_logger, kv
 
 __all__ = [
     "CACHE_DIR_ENV",
+    "CACHE_PEERS_ENV",
     "DEFAULT_CACHE_DIR",
     "DEGRADE_THRESHOLD",
+    "MEMORY_MAX_BYTES",
+    "MEMORY_MAX_ENTRIES",
     "ArtifactCache",
     "CacheStats",
     "resolve_cache",
 ]
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+# Comma-separated cache-tier backends ("host:port,host:port"); when set,
+# resolve_cache() wraps the disk cache in an L2 read-through/write-behind
+# client (see repro.cachenet).
+CACHE_PEERS_ENV = "REPRO_CACHE_PEERS"
 DEFAULT_CACHE_DIR = Path.home() / ".cache" / "romfsm"
 
 # Consecutive I/O errors before the cache falls back to memory.
 DEGRADE_THRESHOLD = 3
+
+# Budgets for the degraded-mode in-memory store.  A long-running service
+# on a sick disk must not grow without bound: the fallback is an LRU
+# with both an entry and a byte ceiling.
+MEMORY_MAX_ENTRIES = 1024
+MEMORY_MAX_BYTES = 64 * 1024 * 1024
 
 _PICKLE_PROTOCOL = 4
 
@@ -76,6 +90,7 @@ class CacheStats:
     errors: int = 0        # corrupt entries dropped
     io_errors: int = 0     # OSError on a read or write
     probes: int = 0        # __contains__ lookups
+    evictions: int = 0     # degraded-mode LRU entries dropped over budget
 
     @property
     def lookups(self) -> int:
@@ -93,6 +108,7 @@ class CacheStats:
             "errors": self.errors,
             "io_errors": self.io_errors,
             "probes": self.probes,
+            "evictions": self.evictions,
         }
 
 
@@ -103,6 +119,8 @@ class ArtifactCache:
         self,
         root: Union[str, Path],
         degrade_threshold: int = DEGRADE_THRESHOLD,
+        memory_max_entries: int = MEMORY_MAX_ENTRIES,
+        memory_max_bytes: int = MEMORY_MAX_BYTES,
     ):
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
@@ -110,10 +128,71 @@ class ArtifactCache:
         self.degraded = False
         self._degrade_threshold = max(1, degrade_threshold)
         self._io_error_streak = 0
-        self._memory: Dict[str, Tuple[str, Any]] = {}
+        # Degraded-mode LRU: key -> (fingerprint, value, approx bytes),
+        # most-recently-used last.  Bounded by both budgets below.
+        self._memory: "OrderedDict[str, Tuple[str, Any, int]]" = OrderedDict()
+        self._memory_bytes = 0
+        self._memory_max_entries = max(1, memory_max_entries)
+        self._memory_max_bytes = max(1, memory_max_bytes)
 
     def _path(self, key: str) -> Path:
         return self.objects_dir / key[:2] / f"{key}.pkl"
+
+    # -- degraded-mode memory store -------------------------------------
+
+    @property
+    def memory_entries(self) -> int:
+        """Entries currently held by the degraded-mode memory store."""
+        return len(self._memory)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate bytes held by the degraded-mode memory store."""
+        return self._memory_bytes
+
+    def _memory_get(self, key: str) -> Optional[Tuple[str, Any]]:
+        entry = self._memory.get(key)
+        if entry is None:
+            return None
+        self._memory.move_to_end(key)
+        return entry[0], entry[1]
+
+    def _memory_put(self, key: str, fingerprint: str, value: Any) -> None:
+        """LRU-insert under the entry/byte budgets; evictions counted.
+
+        Sizing uses the pickled payload length — the same bytes a disk
+        entry would cost — so the byte ceiling means what it says even
+        for values holding large simulation words.
+        """
+        try:
+            size = len(pickle.dumps((fingerprint, value),
+                                    protocol=_PICKLE_PROTOCOL))
+        except Exception:
+            size = 1024  # unpicklable values still occupy a slot
+        old = self._memory.pop(key, None)
+        if old is not None:
+            self._memory_bytes -= old[2]
+        self._memory[key] = (fingerprint, value, size)
+        self._memory_bytes += size
+        while self._memory and (
+            len(self._memory) > self._memory_max_entries
+            or self._memory_bytes > self._memory_max_bytes
+        ):
+            if len(self._memory) == 1 and size > self._memory_max_bytes:
+                # A single over-budget entry is still worth keeping:
+                # evicting it would make the store useless for exactly
+                # the value that was just requested.
+                break
+            _evicted_key, (_fp, _value, evicted_size) = \
+                self._memory.popitem(last=False)
+            self._memory_bytes -= evicted_size
+            self.stats.evictions += 1
+
+    def _memory_clear(self) -> int:
+        count = len(self._memory)
+        self._memory.clear()
+        self._memory_bytes = 0
+        return count
 
     # -- degradation ----------------------------------------------------
 
@@ -157,12 +236,39 @@ class ArtifactCache:
             raise ValueError("cache-entry checksum mismatch")
         return pickle.loads(payload)
 
+    @staticmethod
+    def verify_envelope(data: bytes) -> bool:
+        """Envelope integrity (magic + CRC32) without deserializing.
+
+        This is how ``__contains__`` and the cachenet tier validate
+        entries they will not (or must not) unpickle.
+        """
+        if len(data) < _HEADER_LEN or data[:len(_ENTRY_MAGIC)] != _ENTRY_MAGIC:
+            return False
+        expected = int.from_bytes(data[len(_ENTRY_MAGIC):_HEADER_LEN], "big")
+        return zlib.crc32(data[_HEADER_LEN:]) & 0xFFFFFFFF == expected
+
+    def _drop_corrupt(self, path: Path, read_stat) -> None:
+        """Unlink a corrupt entry — only if it is provably the file we
+        read.  A concurrent writer (a pool worker, or a remote cachenet
+        backend fill landing via :meth:`put_raw`) may have replaced it
+        with a fresh valid object between our read and the unlink;
+        deleting that one would throw good work away."""
+        try:
+            current = os.stat(path)
+            if read_stat is not None and (
+                current.st_ino, current.st_dev
+            ) == (read_stat.st_ino, read_stat.st_dev):
+                path.unlink()
+        except OSError:
+            pass
+
     # -- lookups --------------------------------------------------------
 
     def get(self, key: str) -> Optional[Tuple[str, Any]]:
         """Return ``(fingerprint, value)`` for ``key``, or ``None``."""
         if self.degraded:
-            entry = self._memory.get(key)
+            entry = self._memory_get(key)
             if entry is None:
                 self.stats.misses += 1
                 return None
@@ -191,21 +297,11 @@ class ArtifactCache:
             self.stats.misses += 1
             return None
         except Exception:
-            # Corrupt/truncated entry: drop it and treat as a miss —
-            # but only if the directory entry is still the very file we
-            # read.  A concurrent writer may have replaced it with a
-            # fresh (valid) object between our read and the unlink;
-            # deleting that one would throw good work away.
+            # Corrupt/truncated entry: drop it (inode-guarded) and
+            # treat as a miss.
             self.stats.errors += 1
             self.stats.misses += 1
-            try:
-                current = os.stat(path)
-                if read_stat is not None and (
-                    current.st_ino, current.st_dev
-                ) == (read_stat.st_ino, read_stat.st_dev):
-                    path.unlink()
-            except OSError:
-                pass
+            self._drop_corrupt(path, read_stat)
             return None
         self.stats.hits += 1
         self._io_success()
@@ -214,7 +310,7 @@ class ArtifactCache:
     def put(self, key: str, fingerprint: str, value: Any) -> None:
         """Store an entry.  Storage failure degrades; it never raises."""
         if self.degraded:
-            self._memory[key] = (fingerprint, value)
+            self._memory_put(key, fingerprint, value)
             self.stats.stores += 1
             return
         payload = self._encode(fingerprint, value)
@@ -237,7 +333,7 @@ class ArtifactCache:
                     pass
             self._io_failure("put", exc)
             if self.degraded:
-                self._memory[key] = (fingerprint, value)
+                self._memory_put(key, fingerprint, value)
                 self.stats.stores += 1
             return
         except BaseException:
@@ -251,13 +347,110 @@ class ArtifactCache:
         self._io_success()
 
     def __contains__(self, key: str) -> bool:
+        """Whether a *valid* entry exists for ``key``.
+
+        A bare ``.exists()`` would report a key present even when the
+        entry envelope is corrupt and the subsequent :meth:`get` will
+        miss — a phantom hit that anything coalescing on presence would
+        then trust.  The probe therefore validates the envelope checksum
+        (without deserializing); a corrupt entry counts as an error, is
+        dropped under the same inode guard :meth:`get` uses, and the
+        probe answers ``False``.
+        """
         self.stats.probes += 1
         if self.degraded:
             return key in self._memory
+        path = self._path(key)
+        read_stat = None
         try:
-            return self._path(key).exists()
+            with path.open("rb") as fh:
+                read_stat = os.fstat(fh.fileno())
+                data = fh.read()
         except OSError:
             return False
+        if self.verify_envelope(data):
+            return True
+        self.stats.errors += 1
+        self._drop_corrupt(path, read_stat)
+        return False
+
+    # -- raw envelope transport (the cachenet tier) ---------------------
+
+    def get_raw(self, key: str) -> Optional[bytes]:
+        """Checksummed envelope bytes for ``key``, or ``None``.
+
+        The cachenet server moves entries without ever unpickling
+        network-supplied data, so the wire payload *is* the on-disk
+        envelope; the CRC travels end to end.  Raw reads do not consult
+        the degraded-mode memory store (its values are already decoded;
+        a degraded backend simply answers misses and lets clients fall
+        back to their local tier).
+        """
+        if self.degraded:
+            return None
+        path = self._path(key)
+        read_stat = None
+        try:
+            faults.hit("cache.get", key=key)
+            with path.open("rb") as fh:
+                read_stat = os.fstat(fh.fileno())
+                data = fh.read()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError as exc:
+            self._io_failure("get", exc)
+            self.stats.misses += 1
+            return None
+        if not self.verify_envelope(data):
+            self.stats.errors += 1
+            self.stats.misses += 1
+            self._drop_corrupt(path, read_stat)
+            return None
+        self.stats.hits += 1
+        self._io_success()
+        return data
+
+    def put_raw(self, key: str, data: bytes) -> bool:
+        """Store pre-encoded envelope bytes; ``False`` if not stored.
+
+        Validates the envelope before writing (a corrupted frame must
+        never become a disk entry) and uses the same atomic
+        temp-file + ``os.replace`` dance as :meth:`put`, so a remote
+        backend fill racing a local corrupt-entry unlink behaves
+        exactly like a concurrent local writer.
+        """
+        if self.degraded or not self.verify_envelope(data):
+            return False
+        path = self._path(key)
+        tmp_name = None
+        try:
+            faults.hit("cache.put", key=key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".pkl"
+            )
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp_name, path)
+        except OSError as exc:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            self._io_failure("put", exc)
+            return False
+        except BaseException:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            raise
+        self.stats.stores += 1
+        self._io_success()
+        return True
 
     # -- maintenance ---------------------------------------------------
 
@@ -326,8 +519,7 @@ class ArtifactCache:
                 shard.rmdir()
             except OSError:
                 pass
-        removed += len(self._memory)
-        self._memory.clear()
+        removed += self._memory_clear()
         self.degraded = False
         self._io_error_streak = 0
         return removed
@@ -338,6 +530,8 @@ class ArtifactCache:
             "entries": self.entry_count,
             "size_bytes": self.size_bytes,
             "degraded": self.degraded,
+            "memory_entries": self.memory_entries,
+            "memory_bytes": self.memory_bytes,
             "session": self.stats.as_dict(),
         }
 
@@ -348,6 +542,7 @@ class ArtifactCache:
 def resolve_cache(
     cache_dir: Union[None, bool, str, Path, ArtifactCache] = None,
     no_cache: bool = False,
+    peers: Union[None, bool, str] = None,
 ) -> Optional[ArtifactCache]:
     """Resolve the cache to use for a run.
 
@@ -364,16 +559,42 @@ def resolve_cache(
     mirror image — "definitely cache": the environment variable still
     wins, else the default user cache directory.  The long-lived server
     uses it so every request shares one artifact store by default.
+
+    ``peers`` selects the shared cache tier (:mod:`repro.cachenet`):
+    a ``"host:port,host:port"`` spec (or ``None`` to consult the
+    ``REPRO_CACHE_PEERS`` environment variable) wraps the resolved disk
+    cache in an :class:`~repro.cachenet.l2.L2Cache` — read-through to
+    the tier on local miss, write-behind on put.  ``peers=False``
+    disables the tier even when the environment names backends (used
+    by maintenance commands that must touch only the local store).
+    Because activation rides on an environment variable, pool workers
+    that re-resolve a plain path spec join the same tier with no
+    call-site changes.
     """
     if no_cache or cache_dir is False:
         return None
     if isinstance(cache_dir, ArtifactCache):
         return cache_dir
+    local: Optional[ArtifactCache] = None
     if cache_dir is not None and cache_dir is not True:
-        return ArtifactCache(cache_dir)
-    env = os.environ.get(CACHE_DIR_ENV)
-    if env:
-        return ArtifactCache(env)
-    if cache_dir is True:
-        return ArtifactCache(DEFAULT_CACHE_DIR)
-    return None
+        local = ArtifactCache(cache_dir)
+    else:
+        env = os.environ.get(CACHE_DIR_ENV)
+        if env:
+            local = ArtifactCache(env)
+        elif cache_dir is True:
+            local = ArtifactCache(DEFAULT_CACHE_DIR)
+    if local is None:
+        return None
+    if peers is False:
+        return local
+    spec = peers if isinstance(peers, str) else os.environ.get(CACHE_PEERS_ENV)
+    if not spec:
+        return local
+    from repro.cachenet.l2 import L2Cache
+
+    try:
+        return L2Cache.from_spec(local, spec)
+    except ValueError as exc:
+        logger.warning(kv("cache_peers_invalid", spec=spec, error=str(exc)))
+        return local

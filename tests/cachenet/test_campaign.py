@@ -1,0 +1,200 @@
+"""Campaign sharding over stub service clients: placement, completion-
+order merge, failover re-dispatch, and exhaustion reporting."""
+
+import threading
+
+import pytest
+
+from repro.cachenet.campaign import CampaignError, run_campaign
+from repro.cachenet.ring import HashRing
+from repro.pipeline.artifact import fingerprint
+
+ITEMS = [
+    {"kind": "evaluate", "benchmark": f"bench{i}", "num_cycles": 100}
+    for i in range(8)
+]
+
+
+class StubClient:
+    """A /v1/batch endpoint double; per-instance behavior is scripted."""
+
+    def __init__(self, name, *, dead=False, die_after=None, log=None):
+        self.name = name
+        self.dead = dead
+        self.die_after = die_after  # stream N item lines, then break
+        self.log = log if log is not None else []
+        self._lock = threading.Lock()
+
+    def batch_stream(self, items):
+        with self._lock:
+            self.log.append((self.name, [i["benchmark"] for i in items]))
+        if self.dead:
+            raise ConnectionRefusedError(f"{self.name} is down")
+        yield {"ok": True, "kind": "batch", "items": len(items)}
+        for index, item in enumerate(items):
+            if self.die_after is not None and index >= self.die_after:
+                raise ConnectionResetError(f"{self.name} died mid-stream")
+            yield {
+                "item": index,
+                "ok": True,
+                "result": {"benchmark": item["benchmark"]},
+            }
+        yield {"done": True, "items": len(items)}
+
+
+def _factory(stubs):
+    def make(host, port):
+        return stubs[f"{host}:{port}"]
+    return make
+
+
+INSTANCES = ["i1:8000", "i2:8001"]
+
+
+class TestSharding:
+    def test_all_items_complete_with_global_indices(self):
+        stubs = {n: StubClient(n) for n in INSTANCES}
+        lines = list(run_campaign(
+            ITEMS, INSTANCES, client_factory=_factory(stubs)
+        ))
+        header, done = lines[0], lines[-1]
+        assert header["campaign"] and header["items"] == len(ITEMS)
+        item_lines = [l for l in lines if "item" in l]
+        assert sorted(l["item"] for l in item_lines) == list(range(len(ITEMS)))
+        # Each line carries the right payload for its global index.
+        for line in item_lines:
+            assert line["result"]["benchmark"] == \
+                ITEMS[line["item"]]["benchmark"]
+            assert line["instance"] in INSTANCES
+        assert done["done"] and done["ok"] == len(ITEMS)
+        assert done["failed"] == 0 and done["redispatched"] == 0
+
+    def test_placement_follows_the_ring(self):
+        stubs = {n: StubClient(n) for n in INSTANCES}
+        lines = list(run_campaign(
+            ITEMS, INSTANCES, client_factory=_factory(stubs)
+        ))
+        ring = HashRing(INSTANCES)
+        for line in lines:
+            if "item" in line:
+                expected = ring.node_for(fingerprint(ITEMS[line["item"]]))
+                assert line["instance"] == expected
+
+    def test_identical_items_share_an_instance(self):
+        # Same body -> same fingerprint -> same instance: the placement
+        # that maximizes server-side coalescing.
+        items = [dict(ITEMS[0]) for _ in range(6)]
+        stubs = {n: StubClient(n) for n in INSTANCES}
+        lines = list(run_campaign(
+            items, INSTANCES, client_factory=_factory(stubs)
+        ))
+        instances = {l["instance"] for l in lines if "item" in l}
+        assert len(instances) == 1
+
+    def test_comma_joined_spec_is_split(self):
+        stubs = {n: StubClient(n) for n in INSTANCES}
+        lines = list(run_campaign(
+            ITEMS, "i1:8000,i2:8001", client_factory=_factory(stubs)
+        ))
+        assert lines[-1]["ok"] == len(ITEMS)
+
+
+class TestFailover:
+    def test_dead_instance_redispatches_to_survivor(self):
+        log = []
+        stubs = {
+            "i1:8000": StubClient("i1:8000", dead=True, log=log),
+            "i2:8001": StubClient("i2:8001", log=log),
+        }
+        lines = list(run_campaign(
+            ITEMS, INSTANCES, client_factory=_factory(stubs)
+        ))
+        done = lines[-1]
+        assert done["ok"] == len(ITEMS)
+        assert done["failed"] == 0
+        # Whatever was sharded to the dead instance moved over.
+        ring = HashRing(INSTANCES)
+        dead_share = sum(
+            1 for item in ITEMS
+            if ring.node_for(fingerprint(item)) == "i1:8000"
+        )
+        assert done["redispatched"] == dead_share
+        for line in lines:
+            if "item" in line:
+                assert line["instance"] == "i2:8001" or \
+                    ring.node_for(fingerprint(ITEMS[line["item"]])) != "i1:8000"
+
+    def test_mid_stream_death_redispatches_the_remainder(self):
+        stubs = {
+            "i1:8000": StubClient("i1:8000", die_after=1),
+            "i2:8001": StubClient("i2:8001"),
+        }
+        lines = list(run_campaign(
+            ITEMS, INSTANCES, client_factory=_factory(stubs)
+        ))
+        done = lines[-1]
+        # Every item still lands exactly once.
+        item_lines = [l for l in lines if "item" in l]
+        assert sorted(l["item"] for l in item_lines) == list(range(len(ITEMS)))
+        assert done["ok"] == len(ITEMS)
+        assert done["failed"] == 0
+
+    def test_all_instances_dead_reports_every_item_unreachable(self):
+        stubs = {n: StubClient(n, dead=True) for n in INSTANCES}
+        lines = list(run_campaign(
+            ITEMS, INSTANCES, client_factory=_factory(stubs)
+        ))
+        done = lines[-1]
+        unreachable = [
+            l for l in lines if "item" in l and l.get("error") == "unreachable"
+        ]
+        assert len(unreachable) == len(ITEMS)
+        assert done["failed"] == len(ITEMS)
+        assert done["ok"] == 0
+
+    def test_each_item_tries_each_instance_at_most_once(self):
+        log = []
+        stubs = {n: StubClient(n, dead=True, log=log) for n in INSTANCES}
+        list(run_campaign(ITEMS, INSTANCES, client_factory=_factory(stubs)))
+        seen = {}
+        for instance, benchmarks in log:
+            for bench in benchmarks:
+                seen.setdefault(bench, []).append(instance)
+        for bench, tried in seen.items():
+            assert len(tried) == len(set(tried)), (
+                f"{bench} was sent to {tried}"
+            )
+            assert len(tried) <= len(INSTANCES)
+
+
+class TestValidation:
+    def test_no_items_is_an_error(self):
+        with pytest.raises(CampaignError):
+            list(run_campaign([], INSTANCES))
+
+    def test_no_instances_is_an_error(self):
+        with pytest.raises(CampaignError):
+            list(run_campaign(ITEMS, []))
+
+    def test_bad_instance_spec_is_a_campaign_error(self):
+        with pytest.raises(CampaignError):
+            list(run_campaign(ITEMS, ["host:notaport"]))
+
+
+class TestWaves:
+    def test_large_shards_stream_in_waves(self, monkeypatch):
+        import repro.cachenet.campaign as campaign_mod
+
+        monkeypatch.setattr(campaign_mod, "SHARD_WAVE_SIZE", 3)
+        items = [
+            {"kind": "evaluate", "benchmark": f"wave{i}"} for i in range(10)
+        ]
+        log = []
+        stubs = {n: StubClient(n, log=log) for n in INSTANCES}
+        lines = list(run_campaign(
+            items, INSTANCES, client_factory=_factory(stubs)
+        ))
+        done = lines[-1]
+        assert done["ok"] == 10
+        # No wave exceeded the per-request cap.
+        assert all(len(benches) <= 3 for _name, benches in log)

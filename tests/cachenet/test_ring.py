@@ -1,0 +1,113 @@
+"""Consistent-hash ring: determinism, failover order, and the ~K/N
+stability property that makes backend churn cheap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachenet.ring import HashRing
+
+NODES = ["10.0.0.1:8377", "10.0.0.2:8377", "10.0.0.3:8377"]
+
+
+class TestPlacement:
+    def test_empty_ring_is_an_error(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_duplicate_nodes_collapse(self):
+        ring = HashRing(["a", "b", "a"])
+        assert ring.nodes == ("a", "b")
+        assert len(ring) == 2
+
+    def test_placement_is_deterministic_across_instances(self):
+        # SHA-256-derived points: no hash() randomization, so every
+        # process computes the same owner for the same key.
+        a = HashRing(NODES)
+        b = HashRing(list(NODES))
+        keys = [f"{i:064x}" for i in range(256)]
+        assert [a.node_for(k) for k in keys] == [b.node_for(k) for k in keys]
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(
+            ring.node_for(f"{i:064x}") == "only" for i in range(64)
+        )
+
+    def test_node_order_does_not_change_placement(self):
+        # Virtual-node points depend on node names, not list order.
+        forward = HashRing(NODES)
+        backward = HashRing(list(reversed(NODES)))
+        keys = [f"{i:064x}" for i in range(256)]
+        assert [forward.node_for(k) for k in keys] == \
+            [backward.node_for(k) for k in keys]
+
+    def test_distribution_is_roughly_uniform(self):
+        ring = HashRing(NODES)
+        counts = {node: 0 for node in NODES}
+        total = 3000
+        for i in range(total):
+            counts[ring.node_for(f"{i:064x}")] += 1
+        for node, count in counts.items():
+            assert total / len(NODES) * 0.5 < count < total / len(NODES) * 1.5
+
+
+class TestPreference:
+    def test_preference_starts_at_the_owner(self):
+        ring = HashRing(NODES)
+        for i in range(64):
+            key = f"{i:064x}"
+            pref = ring.preference(key)
+            assert pref[0] == ring.node_for(key)
+            assert sorted(pref) == sorted(NODES)  # all nodes, no dups
+
+    def test_preference_is_stable(self):
+        ring = HashRing(NODES)
+        key = "ab" + "0" * 62
+        assert ring.preference(key) == ring.preference(key)
+
+
+class TestStability:
+    def test_add_one_node_moves_about_one_quarter(self):
+        keys = [f"{i:064x}" for i in range(4000)]
+        before = HashRing(NODES)
+        after = before.with_nodes(NODES + ["10.0.0.4:8377"])
+        moved = sum(
+            1 for k in keys if before.node_for(k) != after.node_for(k)
+        )
+        # Adding the 4th of 4 nodes should claim ~K/4 keys; allow slack
+        # for virtual-node variance but reject anything near a reshuffle.
+        assert 0.15 * len(keys) < moved < 0.40 * len(keys)
+
+    def test_remove_one_node_only_moves_its_keys(self):
+        keys = [f"{i:064x}" for i in range(4000)]
+        before = HashRing(NODES)
+        after = before.with_nodes(NODES[:-1])
+        for key in keys:
+            owner = before.node_for(key)
+            if owner != NODES[-1]:
+                # Keys of surviving nodes must not move at all.
+                assert after.node_for(key) == owner
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        nodes=st.lists(
+            st.text(alphabet="abcdef0123456789:.", min_size=3, max_size=16),
+            min_size=2, max_size=6, unique=True,
+        ),
+        drop_index=st.integers(min_value=0, max_value=5),
+    )
+    def test_removal_never_moves_surviving_keys(self, nodes, drop_index):
+        """Property: removing any node relocates ONLY that node's keys —
+        the invariant that keeps the tier warm through backend churn."""
+        dropped = nodes[drop_index % len(nodes)]
+        survivors = [n for n in nodes if n != dropped]
+        before = HashRing(nodes)
+        after = HashRing(survivors, replicas=before.replicas)
+        for i in range(200):
+            key = f"{i:08x}"
+            owner = before.node_for(key)
+            if owner != dropped:
+                assert after.node_for(key) == owner
+            else:
+                assert after.node_for(key) in survivors

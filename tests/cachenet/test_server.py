@@ -1,0 +1,112 @@
+"""The cache backend server: verb handling, envelope verification,
+persistent connections, and the stdout announce line."""
+
+import json
+import socket
+
+from repro.cachenet import protocol
+from repro.cachenet.client import CacheBackendClient
+from repro.pipeline.cache import ArtifactCache
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+def _client(backend) -> CacheBackendClient:
+    return CacheBackendClient(backend.host, backend.port)
+
+
+class TestVerbs:
+    def test_put_then_get_round_trips_envelope_bytes(self, backend):
+        client = _client(backend)
+        envelope = ArtifactCache._encode("fp", {"words": [1, 2, 3]})
+        assert client.put(KEY, envelope)
+        assert client.get(KEY) == envelope
+        # The server stored it as a normal local entry.
+        assert backend.server.cache.get(KEY) == ("fp", {"words": [1, 2, 3]})
+
+    def test_get_miss(self, backend):
+        assert _client(backend).get(OTHER) is None
+
+    def test_put_rejects_corrupt_envelopes(self, backend):
+        client = _client(backend)
+        assert not client.put(KEY, b"garbage, not an envelope")
+        data = bytearray(ArtifactCache._encode("fp", 1))
+        data[-1] ^= 0x01  # CRC now wrong
+        assert not client.put(KEY, bytes(data))
+        assert client.get(KEY) is None
+        assert backend.server.requests["errors"] == 2
+
+    def test_ping(self, backend):
+        assert _client(backend).ping()
+
+    def test_stats_reports_store_and_requests(self, backend):
+        client = _client(backend)
+        client.put(KEY, ArtifactCache._encode("fp", 1))
+        client.get(KEY)
+        stats = client.stats()
+        assert stats["entries"] == 1
+        assert stats["requests"]["get"] == 1
+        assert stats["requests"]["put"] == 1
+        assert stats["degraded"] is False
+
+    def test_unknown_verb_closes_connection_without_crash(self, backend):
+        with socket.create_connection(
+            (backend.host, backend.port), timeout=2.0
+        ) as sock:
+            protocol.send_frame(sock, b"EXPLODE\n")
+            sock.settimeout(2.0)
+            assert sock.recv(64) == b""  # server hung up
+        # ...and still serves the next client.
+        assert _client(backend).ping()
+
+
+class TestPersistentConnections:
+    def test_many_requests_on_one_connection(self, backend):
+        with socket.create_connection(
+            (backend.host, backend.port), timeout=2.0
+        ) as sock:
+            for index in range(8):
+                key = f"{index:02d}" + "a" * 62
+                envelope = ArtifactCache._encode("fp", index)
+                protocol.send_frame(
+                    sock, b"PUT\n" + key.encode() + b"\n" + envelope
+                )
+                assert protocol.recv_frame(sock) == b"OK\n"
+            protocol.send_frame(sock, b"GET\n" + b"03" + b"a" * 62)
+            status, rest = protocol.split_verb(protocol.recv_frame(sock))
+            assert status == "HIT"
+            assert ArtifactCache._decode(rest) == ("fp", 3)
+        assert backend.server.cache.entry_count == 8
+
+
+class TestAnnounce:
+    def test_run_cache_server_announces_bound_port(self, tmp_path, capsys):
+        import asyncio
+
+        from repro.cachenet.server import run_cache_server
+
+        lines = []
+
+        async def body_collect():
+            task = asyncio.ensure_future(run_cache_server(
+                ArtifactCache(tmp_path), "127.0.0.1", 0
+            ))
+            for _ in range(200):
+                await asyncio.sleep(0.01)
+                out = capsys.readouterr().out
+                if out:
+                    lines.append(out)
+                    break
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+        asyncio.run(body_collect())
+        assert lines, "no announce line was printed"
+        announced = json.loads(lines[0])["cachenet"]
+        assert announced["host"] == "127.0.0.1"
+        assert announced["port"] > 0
+        assert announced["root"] == str(tmp_path)
