@@ -134,11 +134,14 @@ class CacheBackendClient:
     """
 
     def __init__(self, host: str, port: int,
-                 timeout_s: float = DEFAULT_TIMEOUT_S):
+                 timeout_s: float = DEFAULT_TIMEOUT_S,
+                 secret: Optional[bytes] = None):
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.name = f"{host}:{port}"
+        self._secret = (protocol.resolve_secret() if secret is None
+                        else secret)
 
     def request(self, op: str, payload: bytes) -> bytes:
         """One framed round trip; raises OSError/ProtocolError on failure."""
@@ -152,8 +155,14 @@ class CacheBackendClient:
         with socket.create_connection(
             (self.host, self.port), timeout=self.timeout_s
         ) as sock:
-            protocol.send_frame(sock, payload)
+            protocol.send_frame(
+                sock, protocol.wrap_auth(payload, self._secret)
+            )
             reply = protocol.recv_frame(sock)
+        # With a tier secret set this authenticates the *server* too: a
+        # spoofed peer cannot produce bytes that survive unwrap_auth, so
+        # nothing it sends is ever CRC-checked or unpickled by callers.
+        reply = protocol.unwrap_auth(reply, self._secret)
         if action is not None:
             # truncate/bitflip model wire corruption of the *response*;
             # the caller's CRC validation must catch the damage.
@@ -218,12 +227,14 @@ class ShardedCacheClient:
         breaker_threshold: int = BREAKER_THRESHOLD,
         breaker_cooldown_s: float = BREAKER_COOLDOWN_S,
         queue_max: int = WRITE_QUEUE_MAX,
+        secret: Optional[bytes] = None,
     ):
         if not peers:
             raise ValueError("a sharded cache client needs at least one peer")
         self.backends: Dict[str, CacheBackendClient] = {}
         for host, port in peers:
-            backend = CacheBackendClient(host, port, timeout_s=timeout_s)
+            backend = CacheBackendClient(host, port, timeout_s=timeout_s,
+                                         secret=secret)
             self.backends[backend.name] = backend
         self.ring = HashRing(list(self.backends))
         self.breakers: Dict[str, CircuitBreaker] = {
@@ -304,14 +315,16 @@ class ShardedCacheClient:
             # on its not-empty condition: a put would notify the ghost
             # and the revived thread would sleep forever.  Swap in a
             # fresh queue, migrating whatever the fork copied over.
+            # The migration must not touch the inherited queue's own
+            # mutex either — if the fork landed while the dead writer
+            # held it, get_nowait() would block forever in the child —
+            # so read the underlying deque directly; this thread is the
+            # only one that can see the stale queue once the swap above
+            # is done under _writer_lock.
             stale, self._queue = self._queue, queue.Queue(
                 maxsize=self._queue.maxsize
             )
-            while True:
-                try:
-                    item = stale.get_nowait()
-                except queue.Empty:
-                    break
+            for item in list(getattr(stale, "queue", ())):
                 if item is not None:
                     self._queue.put_nowait(item)
             logger.info(kv("cachenet_writer_revived", pid=os.getpid(),
@@ -323,8 +336,14 @@ class ShardedCacheClient:
         if self._closed:
             return False
         self._ensure_writer()
+        # Snapshot the queue under the writer lock: a concurrent
+        # revival swaps self._queue, and an unsynchronized read here
+        # could land the put on the discarded stale queue, silently
+        # losing it.
+        with self._writer_lock:
+            pending_queue = self._queue
         try:
-            self._queue.put_nowait(_PendingPut(key, data))
+            pending_queue.put_nowait(_PendingPut(key, data))
         except queue.Full:
             with self._stats_lock:
                 self.puts_dropped += 1

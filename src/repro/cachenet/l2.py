@@ -25,6 +25,15 @@ Semantics:
 Keys are content-addressed, so the tier cannot serve stale data — only
 present or absent — and any backend failure degrades to plain local
 caching with bit-identical results.
+
+Trust boundary: a remote hit is ultimately ``pickle.loads``-ed (inside
+``_decode``), and the envelope CRC proves integrity, not provenance —
+a malicious or compromised backend could ship a pickle that executes
+code on this client.  The tier must therefore only ever span fully
+trusted, mutually administered machines on a private network; set
+``REPRO_CACHE_SECRET`` on every peer to additionally require an
+HMAC-SHA256 tag on each frame, which shuts out spoofed or unauthorized
+peers entirely (see :mod:`repro.cachenet.protocol`).
 """
 
 from __future__ import annotations

@@ -15,7 +15,20 @@ The ``<envelope>`` bytes are exactly the checksummed on-disk entry
 format of :class:`~repro.pipeline.cache.ArtifactCache` (magic + CRC32 +
 pickle), moved verbatim: the server never unpickles network data, and
 the CRC written by the original producer is verified again by the final
-consumer — corruption anywhere along disk → wire → disk is caught.
+consumer — *accidental* corruption anywhere along disk → wire → disk is
+caught.
+
+Trust boundary: CRC32 is an integrity check, not authentication.  The
+final consumer of a cache entry unpickles it, so every tier peer can
+execute code on every tier client — backends and clients must trust
+each other completely (same admin, private network).  When the
+``REPRO_CACHE_SECRET`` environment variable (or an explicit ``secret``)
+is set, every frame payload additionally carries an HMAC-SHA256 tag
+(:func:`wrap_auth` / :func:`unwrap_auth`): a peer that does not hold
+the shared secret cannot get its bytes past :func:`unwrap_auth`, so
+nothing it sends is ever CRC-checked, stored, or unpickled.  Secrets
+must match tier-wide; a mismatch looks like a dead backend (the breaker
+opens, callers degrade to local-only).
 
 Frames are capped at :data:`MAX_FRAME_BYTES`; anything larger (or any
 malformed verb) is a :class:`ProtocolError`, which clients treat like
@@ -25,19 +38,30 @@ the local cache.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import os
 import socket
-from typing import List, Tuple
+from typing import List, Optional, Tuple, Union
 
 __all__ = [
+    "CACHE_SECRET_ENV",
     "DEFAULT_CACHED_PORT",
     "MAX_FRAME_BYTES",
     "ProtocolError",
     "encode_frame",
     "parse_peer_spec",
     "recv_frame",
+    "resolve_secret",
     "send_frame",
     "split_verb",
+    "unwrap_auth",
+    "wrap_auth",
 ]
+
+# Shared-secret HMAC for the tier protocol; unset means unauthenticated
+# (trusted-network mode).
+CACHE_SECRET_ENV = "REPRO_CACHE_SECRET"
 
 DEFAULT_CACHED_PORT = 8377
 # Pipeline artifacts are at most a few MiB of pickled words; 64 MiB is
@@ -49,6 +73,54 @@ _LEN_BYTES = 4
 
 class ProtocolError(RuntimeError):
     """A malformed frame or verb; the connection is not reusable."""
+
+
+_AUTH_MAGIC = b"RFA1"
+_MAC_LEN = hashlib.sha256().digest_size
+_AUTH_HEADER_LEN = len(_AUTH_MAGIC) + _MAC_LEN
+
+
+def resolve_secret(
+    secret: Union[None, str, bytes] = None
+) -> Optional[bytes]:
+    """The tier shared secret: an explicit value, else the environment.
+
+    Returns ``None`` (unauthenticated mode) when neither is set.
+    """
+    if secret is None:
+        secret = os.environ.get(CACHE_SECRET_ENV) or None
+    if secret is None:
+        return None
+    return secret.encode("utf-8") if isinstance(secret, str) else secret
+
+
+def wrap_auth(payload: bytes, secret: Optional[bytes]) -> bytes:
+    """Prefix ``payload`` with its HMAC-SHA256 tag (no-op without secret)."""
+    if not secret:
+        return payload
+    mac = hmac.new(secret, payload, hashlib.sha256).digest()
+    return _AUTH_MAGIC + mac + payload
+
+
+def unwrap_auth(payload: bytes, secret: Optional[bytes]) -> bytes:
+    """Verify and strip the HMAC prefix (no-op without secret).
+
+    Raises :class:`ProtocolError` on a missing or wrong tag, *before*
+    the caller can CRC-check, store, or unpickle anything — this is the
+    authentication gate for every byte a peer sends.
+    """
+    if not secret:
+        return payload
+    if (len(payload) < _AUTH_HEADER_LEN
+            or payload[:len(_AUTH_MAGIC)] != _AUTH_MAGIC):
+        raise ProtocolError("peer sent an unauthenticated frame")
+    mac = payload[len(_AUTH_MAGIC):_AUTH_HEADER_LEN]
+    body = payload[_AUTH_HEADER_LEN:]
+    if not hmac.compare_digest(
+        mac, hmac.new(secret, body, hashlib.sha256).digest()
+    ):
+        raise ProtocolError("frame authentication failed")
+    return body
 
 
 def encode_frame(payload: bytes) -> bytes:

@@ -44,15 +44,27 @@ class CacheServer:
         cache: ArtifactCache,
         host: str = "127.0.0.1",
         port: int = protocol.DEFAULT_CACHED_PORT,
+        secret: Optional[bytes] = None,
     ):
         self.cache = cache
         self.host = host
         self.port: Optional[int] = None
         self._requested_port = port
+        self._secret = (protocol.resolve_secret() if secret is None
+                        else secret)
         self._server: Optional[asyncio.base_events.Server] = None
-        self._stopped = asyncio.Event()
+        # Created lazily inside the running loop: on Python 3.9 an
+        # asyncio.Event binds the loop current at *construction*, and
+        # CacheServerHandle constructs the server on the caller's
+        # thread but runs it on a daemon thread's fresh loop.
+        self._stopped: Optional[asyncio.Event] = None
         self.requests: Dict[str, int] = {"get": 0, "put": 0, "stats": 0,
                                          "ping": 0, "errors": 0}
+
+    def _stop_event(self) -> asyncio.Event:
+        if self._stopped is None:
+            self._stopped = asyncio.Event()
+        return self._stopped
 
     async def start(self) -> "CacheServer":
         self._server = await asyncio.start_server(
@@ -69,10 +81,10 @@ class CacheServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        self._stopped.set()
+        self._stop_event().set()
 
     async def serve_forever(self) -> None:
-        await self._stopped.wait()
+        await self._stop_event().wait()
 
     def install_signal_handlers(self) -> None:
         loop = asyncio.get_running_loop()
@@ -93,8 +105,15 @@ class CacheServer:
                         f"client announced a {length}-byte frame"
                     )
                 payload = await reader.readexactly(length)
+                # Authentication gate: with a tier secret configured,
+                # an unsigned or forged frame raises here and the
+                # connection is dropped before any byte of it reaches
+                # the store.
+                payload = protocol.unwrap_auth(payload, self._secret)
                 reply = self._handle_request(payload)
-                writer.write(protocol.encode_frame(reply))
+                writer.write(protocol.encode_frame(
+                    protocol.wrap_auth(reply, self._secret)
+                ))
                 await writer.drain()
         except (asyncio.IncompleteReadError, ConnectionError,
                 BrokenPipeError):
@@ -118,6 +137,14 @@ class CacheServer:
         if verb == "GET":
             self.requests["get"] += 1
             key = rest.decode("ascii", "replace")
+            # Boundary check: keys come off the network and become file
+            # paths.  Anything that is not a hex fingerprint (e.g. a
+            # "../.." traversal string) is refused before the cache —
+            # and thus the filesystem — ever sees it.
+            if not ArtifactCache.valid_key(key):
+                self.requests["errors"] += 1
+                logger.warning(kv("cached_bad_key", op="get"))
+                return b"ERR\nmalformed key"
             data = self.cache.get_raw(key)
             if data is None:
                 return b"MISS\n"
@@ -128,6 +155,10 @@ class CacheServer:
             if not sep:
                 raise protocol.ProtocolError("PUT without an entry body")
             key = key_bytes.decode("ascii", "replace")
+            if not ArtifactCache.valid_key(key):
+                self.requests["errors"] += 1
+                logger.warning(kv("cached_bad_key", op="put"))
+                return b"ERR\nmalformed key"
             if self.cache.put_raw(key, data):
                 return b"OK\n"
             self.requests["errors"] += 1
@@ -157,8 +188,9 @@ class CacheServerHandle:
     """A :class:`CacheServer` on a daemon thread with its own loop."""
 
     def __init__(self, cache: ArtifactCache, host: str = "127.0.0.1",
-                 port: int = 0):
-        self.server = CacheServer(cache, host=host, port=port)
+                 port: int = 0, secret: Optional[bytes] = None):
+        self.server = CacheServer(cache, host=host, port=port,
+                                  secret=secret)
         self._ready = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread = threading.Thread(

@@ -33,7 +33,9 @@ from __future__ import annotations
 
 import os
 import pickle
+import re
 import tempfile
+import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -72,6 +74,24 @@ MEMORY_MAX_ENTRIES = 1024
 MEMORY_MAX_BYTES = 64 * 1024 * 1024
 
 _PICKLE_PROTOCOL = 4
+
+# Cache keys are hex digests (Stage.cache_key is a SHA-256 hexdigest).
+# The raw-transport seams enforce this before building a path from the
+# key, because cachenet hands them network-supplied strings: anything
+# else ("../../../etc/x", an absolute path, a drive letter) must never
+# reach the filesystem.
+_KEY_RE = re.compile(r"[0-9a-f]{16,64}")
+
+# Validated-probe memo budget: __contains__ remembers the stat identity
+# of entries whose envelope it has already checksummed, so hot
+# coalescing paths pay one stat per probe instead of re-reading
+# multi-MiB entries.
+_PROBE_MEMO_MAX = 4096
+# Racily-valid guard (same idea as git's racily-clean index check): a
+# file rewritten in place within the same coarse-clock tick as the
+# validated write keeps its (inode, mtime_ns, size) identity, so only
+# entries whose mtime is safely in the past are memoized at all.
+_PROBE_MEMO_MIN_AGE_NS = 2_000_000_000
 
 # Entry envelope: magic + 4-byte big-endian CRC32, then the pickle.
 _ENTRY_MAGIC = b"RFC1"
@@ -134,9 +154,39 @@ class ArtifactCache:
         self._memory_bytes = 0
         self._memory_max_entries = max(1, memory_max_entries)
         self._memory_max_bytes = max(1, memory_max_bytes)
+        # key -> (st_ino, st_dev, st_mtime_ns, st_size) of the entry
+        # file whose envelope last verified; see __contains__.
+        self._validated: "OrderedDict[str, Tuple[int, int, int, int]]" = \
+            OrderedDict()
+
+    @staticmethod
+    def valid_key(key: str) -> bool:
+        """Whether ``key`` has the content-addressed hex-digest form.
+
+        The boundary check for network-supplied keys: only strings that
+        match the fingerprint alphabet may become file paths.
+        """
+        return bool(_KEY_RE.fullmatch(key))
 
     def _path(self, key: str) -> Path:
         return self.objects_dir / key[:2] / f"{key}.pkl"
+
+    # -- validated-probe memo -------------------------------------------
+
+    def _note_valid(self, key: str, st) -> None:
+        if st is None:
+            return
+        if time.time_ns() - st.st_mtime_ns < _PROBE_MEMO_MIN_AGE_NS:
+            return  # too fresh to trust stat identity; revalidate later
+        self._validated[key] = (
+            st.st_ino, st.st_dev, st.st_mtime_ns, st.st_size
+        )
+        self._validated.move_to_end(key)
+        while len(self._validated) > _PROBE_MEMO_MAX:
+            self._validated.popitem(last=False)
+
+    def _forget_valid(self, key: str) -> None:
+        self._validated.pop(key, None)
 
     # -- degraded-mode memory store -------------------------------------
 
@@ -301,10 +351,12 @@ class ArtifactCache:
             # treat as a miss.
             self.stats.errors += 1
             self.stats.misses += 1
+            self._forget_valid(key)
             self._drop_corrupt(path, read_stat)
             return None
         self.stats.hits += 1
         self._io_success()
+        self._note_valid(key, read_stat)
         return fingerprint, value
 
     def put(self, key: str, fingerprint: str, value: Any) -> None:
@@ -356,21 +408,44 @@ class ArtifactCache:
         (without deserializing); a corrupt entry counts as an error, is
         dropped under the same inode guard :meth:`get` uses, and the
         probe answers ``False``.
+
+        Re-reading a multi-MiB entry on *every* probe would tax hot
+        coalescing paths, so entries that already verified — here or in
+        a successful :meth:`get` — are remembered by stat identity
+        (inode, device, mtime_ns, size): while the identity is
+        unchanged the probe costs one ``stat``.  Every real writer goes
+        through atomic rename and changes that identity; an in-place
+        rewrite bumps mtime_ns, and the one blind spot — a same-tick
+        same-size in-place rewrite — is closed by the racily-valid age
+        guard in :meth:`_note_valid`.
         """
         self.stats.probes += 1
         if self.degraded:
             return key in self._memory
         path = self._path(key)
+        memo = self._validated.get(key)
+        if memo is not None:
+            try:
+                st = os.stat(path)
+            except OSError:
+                self._forget_valid(key)
+                return False
+            if (st.st_ino, st.st_dev, st.st_mtime_ns, st.st_size) == memo:
+                self._validated.move_to_end(key)
+                return True
         read_stat = None
         try:
             with path.open("rb") as fh:
                 read_stat = os.fstat(fh.fileno())
                 data = fh.read()
         except OSError:
+            self._forget_valid(key)
             return False
         if self.verify_envelope(data):
+            self._note_valid(key, read_stat)
             return True
         self.stats.errors += 1
+        self._forget_valid(key)
         self._drop_corrupt(path, read_stat)
         return False
 
@@ -385,8 +460,16 @@ class ArtifactCache:
         the degraded-mode memory store (its values are already decoded;
         a degraded backend simply answers misses and lets clients fall
         back to their local tier).
+
+        The raw seams face the network (the ``romfsm cached`` server
+        calls them with client-supplied keys), so the key is validated
+        here too — defense in depth behind the server's own boundary
+        check; a non-fingerprint key can never become a file path.
         """
         if self.degraded:
+            return None
+        if not self.valid_key(key):
+            self.stats.errors += 1
             return None
         path = self._path(key)
         read_stat = None
@@ -405,10 +488,12 @@ class ArtifactCache:
         if not self.verify_envelope(data):
             self.stats.errors += 1
             self.stats.misses += 1
+            self._forget_valid(key)
             self._drop_corrupt(path, read_stat)
             return None
         self.stats.hits += 1
         self._io_success()
+        self._note_valid(key, read_stat)
         return data
 
     def put_raw(self, key: str, data: bytes) -> bool:
@@ -418,9 +503,13 @@ class ArtifactCache:
         never become a disk entry) and uses the same atomic
         temp-file + ``os.replace`` dance as :meth:`put`, so a remote
         backend fill racing a local corrupt-entry unlink behaves
-        exactly like a concurrent local writer.
+        exactly like a concurrent local writer.  The key is validated
+        like :meth:`get_raw`'s: this seam receives network-supplied
+        keys, and a traversal string must never be written through.
         """
-        if self.degraded or not self.verify_envelope(data):
+        if self.degraded or not self.valid_key(key):
+            return False
+        if not self.verify_envelope(data):
             return False
         path = self._path(key)
         tmp_name = None
@@ -520,6 +609,7 @@ class ArtifactCache:
             except OSError:
                 pass
         removed += self._memory_clear()
+        self._validated.clear()
         self.degraded = False
         self._io_error_streak = 0
         return removed

@@ -11,6 +11,7 @@ from repro import faults
 from repro.cachenet.client import (
     CircuitBreaker,
     ShardedCacheClient,
+    _PendingPut,
     shared_client,
 )
 from repro.faults import FaultPlan, FaultRule
@@ -205,6 +206,66 @@ class TestSharedClient:
         c = shared_client(peers)  # a closed shared client is replaced
         assert c is not a
         c.close()
+
+
+class TestWriterRevivalRaces:
+    """Review regressions on the fork-revival path, reproduced without
+    an actual fork by hand-killing the writer thread."""
+
+    @staticmethod
+    def _kill_writer(client):
+        client._queue.put(None)  # writer consumes the sentinel and exits
+        client._writer.join(timeout=5.0)
+        assert not client._writer.is_alive()
+
+    def test_revival_never_locks_the_inherited_queue(self, backend):
+        # If the fork landed while the dead writer held the queue's
+        # internal mutex, draining it with get_nowait() would block
+        # forever in the child.  Model that exact state: a dead writer,
+        # a pending item, and the stale queue's mutex held by "someone"
+        # who will never release it from the revived side.
+        import threading
+
+        client = ShardedCacheClient([(backend.host, backend.port)])
+        try:
+            self._kill_writer(client)
+            client._queue.put_nowait(_PendingPut(KEY, _envelope("pending")))
+            done = threading.Event()
+
+            def revive_and_put():
+                if client.put("cd" + "4" * 62, _envelope("fresh")):
+                    done.set()
+
+            with client._queue.mutex:  # the frozen inherited mutex
+                worker = threading.Thread(target=revive_and_put,
+                                          daemon=True)
+                worker.start()
+                worker.join(timeout=5.0)
+            assert done.is_set(), "revival deadlocked on the stale queue"
+            assert client.flush(5.0)
+            # Both the migrated and the fresh put were delivered.
+            assert _wait_for_puts(backend.server, 2)
+        finally:
+            client.close()
+
+    def test_concurrent_put_cannot_land_on_the_discarded_queue(
+        self, backend, monkeypatch
+    ):
+        # put() must read self._queue under the writer lock: a racing
+        # revival swaps the queue, and an unsynchronized read would
+        # enqueue onto the stale (never drained) instance.
+        client = ShardedCacheClient([(backend.host, backend.port)])
+        try:
+            self._kill_writer(client)
+            stale_queue = client._queue
+            assert client.put(KEY, _envelope(1))  # triggers revival
+            assert client._queue is not stale_queue
+            # The accepted put lives on the live queue, not the relic.
+            assert client.flush(5.0)
+            assert stale_queue.qsize() == 0
+            assert _wait_for_puts(backend.server, 1)
+        finally:
+            client.close()
 
 
 def _wait_for_puts(server, count, deadline_s=10.0):

@@ -76,6 +76,55 @@ class TestSplitVerb:
             protocol.split_verb(b"\xff\xfe\n")
 
 
+class TestFrameAuth:
+    """Shared-secret HMAC on frame payloads: the gate that keeps an
+    unauthorized peer's bytes from ever being CRC-checked, stored, or
+    unpickled."""
+
+    SECRET = b"tier-secret"
+
+    def test_wrap_unwrap_round_trip(self):
+        payload = b"PUT\nkey\n" + bytes(range(256))
+        wrapped = protocol.wrap_auth(payload, self.SECRET)
+        assert wrapped != payload
+        assert protocol.unwrap_auth(wrapped, self.SECRET) == payload
+
+    def test_no_secret_is_a_no_op(self):
+        assert protocol.wrap_auth(b"PING\n", None) == b"PING\n"
+        assert protocol.unwrap_auth(b"PING\n", None) == b"PING\n"
+
+    def test_unsigned_frame_is_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.unwrap_auth(b"GET\nabcd", self.SECRET)
+
+    def test_forged_tag_is_rejected(self):
+        wrapped = bytearray(protocol.wrap_auth(b"PING\n", self.SECRET))
+        wrapped[8] ^= 0x01  # damage the MAC
+        with pytest.raises(protocol.ProtocolError):
+            protocol.unwrap_auth(bytes(wrapped), self.SECRET)
+
+    def test_wrong_secret_is_rejected(self):
+        wrapped = protocol.wrap_auth(b"PING\n", self.SECRET)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.unwrap_auth(wrapped, b"other-secret")
+
+    def test_tampered_body_is_rejected(self):
+        wrapped = bytearray(protocol.wrap_auth(b"GET\nkey", self.SECRET))
+        wrapped[-1] ^= 0x01  # damage the body, keep the MAC
+        with pytest.raises(protocol.ProtocolError):
+            protocol.unwrap_auth(bytes(wrapped), self.SECRET)
+
+    def test_resolve_secret_prefers_explicit_over_environment(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(protocol.CACHE_SECRET_ENV, "from-env")
+        assert protocol.resolve_secret(b"explicit") == b"explicit"
+        assert protocol.resolve_secret("text") == b"text"
+        assert protocol.resolve_secret() == b"from-env"
+        monkeypatch.delenv(protocol.CACHE_SECRET_ENV)
+        assert protocol.resolve_secret() is None
+
+
 class TestPeerSpec:
     def test_host_port_list(self):
         assert protocol.parse_peer_spec("a:1,b:2") == [("a", 1), ("b", 2)]

@@ -4,6 +4,8 @@ persistent connections, and the stdout announce line."""
 import json
 import socket
 
+import pytest
+
 from repro.cachenet import protocol
 from repro.cachenet.client import CacheBackendClient
 from repro.pipeline.cache import ArtifactCache
@@ -61,6 +63,136 @@ class TestVerbs:
         assert _client(backend).ping()
 
 
+class TestKeyValidation:
+    """Review regression: network-supplied keys become file paths, so
+    anything that is not a hex fingerprint must be refused before the
+    cache — and the filesystem — ever sees it."""
+
+    EVIL_KEYS = [
+        "../../../../../../tmp/owned",
+        "..%2f..%2fescape",
+        "/etc/passwd",
+        "abc",                      # too short
+        "AB" + "0" * 62,            # uppercase is not the digest form
+        "xy" + "0" * 62,            # non-hex chars
+    ]
+
+    def test_put_with_traversal_key_writes_nothing(self, backend, tmp_path):
+        envelope = ArtifactCache._encode("fp", 1)
+        with socket.create_connection(
+            (backend.host, backend.port), timeout=2.0
+        ) as sock:
+            for evil in self.EVIL_KEYS:
+                protocol.send_frame(
+                    sock, b"PUT\n" + evil.encode() + b"\n" + envelope
+                )
+                status, _ = protocol.split_verb(protocol.recv_frame(sock))
+                assert status == "ERR"
+        assert backend.server.cache.entry_count == 0
+        # Nothing escaped the store root into the surrounding tree.
+        stray = [p for p in tmp_path.rglob("*")
+                 if p.is_file() and "store-" not in str(p)]
+        assert stray == []
+        assert backend.server.requests["errors"] == len(self.EVIL_KEYS)
+
+    def test_get_with_traversal_key_is_refused(self, backend, tmp_path):
+        # A .pkl outside the store that an unvalidated key would read
+        # (objects/<xx>/../../../secret.pkl == <root>/../secret.pkl).
+        outside = tmp_path / "secret.pkl"
+        outside.write_bytes(ArtifactCache._encode("fp", "private"))
+        with socket.create_connection(
+            (backend.host, backend.port), timeout=2.0
+        ) as sock:
+            protocol.send_frame(sock, b"GET\n../../../secret")
+            status, _ = protocol.split_verb(protocol.recv_frame(sock))
+        assert status == "ERR"
+
+    def test_raw_seams_also_reject_bad_keys(self, tmp_path):
+        # Defense in depth: even a caller that skips the server boundary
+        # cannot push a traversal key through the raw cache seams.
+        cache = ArtifactCache(tmp_path / "store")
+        envelope = ArtifactCache._encode("fp", 1)
+        assert not cache.put_raw("../escape", envelope)
+        assert cache.get_raw("../escape") is None
+        assert not (tmp_path / "escape.pkl").exists()
+
+
+class TestSharedSecret:
+    """With REPRO_CACHE_SECRET set, every frame carries an HMAC tag; a
+    peer without the secret cannot get a byte past the gate."""
+
+    SECRET = b"tier-secret"
+
+    def _authed_backend(self, tmp_path):
+        from repro.cachenet.server import CacheServerHandle
+
+        return CacheServerHandle(
+            ArtifactCache(tmp_path / "authed"), secret=self.SECRET
+        )
+
+    def test_authed_round_trip(self, tmp_path):
+        handle = self._authed_backend(tmp_path)
+        try:
+            client = CacheBackendClient(handle.host, handle.port,
+                                        secret=self.SECRET)
+            envelope = ArtifactCache._encode("fp", {"words": [1]})
+            assert client.put(KEY, envelope)
+            assert client.get(KEY) == envelope
+            assert client.ping()
+        finally:
+            handle.stop()
+
+    def test_unauthenticated_client_is_refused(self, tmp_path):
+        handle = self._authed_backend(tmp_path)
+        try:
+            bare = CacheBackendClient(handle.host, handle.port, secret=b"")
+            assert not bare.ping()
+            envelope = ArtifactCache._encode("fp", 1)
+            with pytest.raises((OSError, protocol.ProtocolError)):
+                bare.request("put", b"PUT\n" + KEY.encode() + b"\n" + envelope)
+            assert handle.server.cache.entry_count == 0
+        finally:
+            handle.stop()
+
+    def test_wrong_secret_is_refused(self, tmp_path):
+        handle = self._authed_backend(tmp_path)
+        try:
+            impostor = CacheBackendClient(handle.host, handle.port,
+                                          secret=b"wrong")
+            assert not impostor.ping()
+            assert handle.server.cache.entry_count == 0
+        finally:
+            handle.stop()
+
+    def test_client_rejects_an_unsigned_reply(self):
+        # A spoofed "backend" that answers without the secret: the
+        # client must refuse the reply before anything downstream can
+        # CRC-check or unpickle it.
+        sink = socket.socket()
+        sink.bind(("127.0.0.1", 0))
+        sink.listen(1)
+
+        def fake_backend():
+            conn, _ = sink.accept()
+            with conn:
+                protocol.recv_frame(conn)
+                conn.sendall(protocol.encode_frame(
+                    b"HIT\n" + ArtifactCache._encode("fp", "evil")
+                ))
+
+        import threading
+
+        thread = threading.Thread(target=fake_backend, daemon=True)
+        thread.start()
+        client = CacheBackendClient(*sink.getsockname(), secret=self.SECRET)
+        try:
+            with pytest.raises(protocol.ProtocolError):
+                client.get(KEY)
+        finally:
+            thread.join(timeout=5.0)
+            sink.close()
+
+
 class TestPersistentConnections:
     def test_many_requests_on_one_connection(self, backend):
         with socket.create_connection(
@@ -78,6 +210,18 @@ class TestPersistentConnections:
             assert status == "HIT"
             assert ArtifactCache._decode(rest) == ("fp", 3)
         assert backend.server.cache.entry_count == 8
+
+
+class TestLazyStopEvent:
+    def test_stop_event_is_not_created_at_construction(self, tmp_path):
+        # On Python 3.9 asyncio.Event() binds the loop current at
+        # construction time; CacheServerHandle constructs the server on
+        # the caller's thread but serves on a daemon thread's fresh
+        # loop, so the event must be created lazily inside the loop.
+        from repro.cachenet.server import CacheServer
+
+        server = CacheServer(ArtifactCache(tmp_path))
+        assert server._stopped is None
 
 
 class TestAnnounce:

@@ -1,5 +1,8 @@
 """Unit tests for the content-addressed artifact cache."""
 
+import os
+import time
+
 from repro.pipeline.cache import (
     CACHE_DIR_ENV,
     ArtifactCache,
@@ -52,6 +55,103 @@ class TestCorruption:
         # A later put repopulates the slot.
         cache.put(KEY, "fp", [1, 2])
         assert cache.get(KEY) == ("fp", [1, 2])
+
+
+class TestKeyValidation:
+    """Review regression: the raw seams face the network, so only
+    hex-fingerprint keys may ever become file paths."""
+
+    def test_digest_keys_are_valid(self):
+        assert ArtifactCache.valid_key(KEY)
+        assert ArtifactCache.valid_key("0123456789abcdef")  # 16-char floor
+
+    def test_non_digest_keys_are_invalid(self):
+        for bad in ["", "abc", "../../../../home/user/.bashrc",
+                    "/etc/passwd", "AB" + "0" * 62, "zz" + "0" * 62,
+                    "a" * 65, "ab" + "0" * 61 + "\n"]:
+            assert not ArtifactCache.valid_key(bad)
+
+    def test_raw_seams_refuse_traversal_keys(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "store")
+        envelope = ArtifactCache._encode("fp", 1)
+        evil = "../../escape"
+        assert not cache.put_raw(evil, envelope)
+        assert cache.get_raw(evil) is None
+        assert not (tmp_path / "escape.pkl").exists()
+        assert cache.stats.stores == 0
+
+
+class TestProbeMemo:
+    """Review regression: __contains__ must not re-read multi-MiB
+    entries on every probe; a validated entry is remembered by stat
+    identity and re-probed with a single stat."""
+
+    @staticmethod
+    def _age(path):
+        # Backdate past the racily-valid guard so the memo may engage.
+        old = time.time() - 10.0
+        os.utime(path, (old, old))
+
+    def test_second_probe_skips_the_full_read(self, tmp_path, monkeypatch):
+        cache = ArtifactCache(tmp_path)
+        cache.put(KEY, "fp", {"payload": bytes(4096)})
+        self._age(cache._path(KEY))
+        assert KEY in cache  # validates and memoizes
+        reads = []
+        monkeypatch.setattr(
+            ArtifactCache, "verify_envelope",
+            staticmethod(lambda data: reads.append(1) or True),
+        )
+        assert KEY in cache
+        assert reads == [], "memoized probe still re-read the entry"
+
+    def test_fresh_entries_are_not_memoized(self, tmp_path):
+        # Within the racy window the stat identity cannot be trusted:
+        # a same-size in-place rewrite in the same coarse-clock tick
+        # would keep (inode, mtime_ns, size) unchanged.
+        cache = ArtifactCache(tmp_path)
+        cache.put(KEY, "fp", 1)
+        assert KEY in cache
+        assert KEY not in cache._validated
+
+    def test_replaced_entry_is_revalidated(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(KEY, "fp", {"payload": bytes(256)})
+        path = cache._path(KEY)
+        self._age(path)
+        assert KEY in cache
+        assert KEY in cache._validated
+        # Corrupt the entry in place (size and mtime change).
+        path.write_bytes(b"garbage now")
+        assert KEY not in cache
+        assert cache.stats.errors == 1
+        assert not path.exists()
+
+    def test_unlinked_entry_forgets_its_memo(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(KEY, "fp", 1)
+        path = cache._path(KEY)
+        self._age(path)
+        assert KEY in cache
+        path.unlink()
+        assert KEY not in cache
+        assert KEY not in cache._validated
+
+    def test_get_populates_the_memo_too(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(KEY, "fp", 1)
+        self._age(cache._path(KEY))
+        assert cache.get(KEY) == ("fp", 1)
+        assert KEY in cache._validated
+
+    def test_clear_resets_the_memo(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put(KEY, "fp", 1)
+        self._age(cache._path(KEY))
+        assert KEY in cache
+        cache.clear()
+        assert cache._validated == {}
+        assert KEY not in cache
 
 
 class TestMaintenance:
